@@ -1,0 +1,85 @@
+// Ablation A1/A2: value of the time-formulation constraint families.
+//
+// The paper's decoupling hinges on the capacity + connectivity constraints
+// making time solutions spatially realisable (Sec. IV-D). This harness maps
+// the suite under four configurations and reports how many schedules the
+// space phase had to reject before finding a placement:
+//
+//   strict      — default: connectivity with the self term (exactly
+//                 necessary per slot)
+//   paper       — the literal Sec. IV-B3 constraint (no self term)
+//   no-conn     — connectivity disabled
+//   no-capacity — capacity disabled as well (dependencies only)
+//
+// Usage: bench_ablation_constraints [grid_side] [--timeout S]
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "mapper/decoupled_mapper.hpp"
+#include "support/table.hpp"
+#include "workloads/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monomap;
+  using namespace monomap::bench;
+
+  int side = 4;
+  double timeout = timeout_s();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout" && i + 1 < argc) {
+      timeout = std::atof(argv[++i]);
+    } else if (arg[0] != '-') {
+      side = std::atoi(arg.c_str());
+    }
+  }
+  const CgraArch arch = CgraArch::square(side);
+
+  struct Config {
+    const char* name;
+    TimeConstraintOptions constraints;
+  };
+  Config configs[4];
+  configs[0].name = "strict";
+  configs[1].name = "paper";
+  configs[1].constraints.strict_connectivity = false;
+  configs[2].name = "no-conn";
+  configs[2].constraints.strict_connectivity = false;
+  configs[2].constraints.connectivity = false;
+  configs[3].name = "no-capacity";
+  configs[3].constraints.strict_connectivity = false;
+  configs[3].constraints.connectivity = false;
+  configs[3].constraints.capacity = false;
+
+  std::cout << "Ablation A1/A2 — constraint families on " << arch.description()
+            << " (timeout " << timeout << " s)\n\n";
+  AsciiTable table({"Config", "Solved", "Sum II", "Schedules tried",
+                    "Total time[s]"});
+  for (const Config& cfg : configs) {
+    int solved = 0;
+    int sum_ii = 0;
+    int schedules = 0;
+    double total = 0.0;
+    for (const Benchmark& b : benchmark_suite()) {
+      DecoupledMapperOptions opt;
+      opt.timeout_s = timeout;
+      opt.time.constraints = cfg.constraints;
+      const MapResult r = DecoupledMapper(opt).map(b.dfg, arch);
+      total += r.total_s;
+      schedules += r.schedules_tried;
+      if (r.success) {
+        ++solved;
+        sum_ii += r.ii;
+      }
+    }
+    table.add_row({cfg.name, std::to_string(solved) + "/17",
+                   std::to_string(sum_ii), std::to_string(schedules),
+                   format_fixed(total, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: fewer constraint families -> more schedules burnt\n"
+               "in the space phase (or outright failures), which is exactly\n"
+               "the gap the paper's capacity/connectivity constraints close.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the table/figure bench harnesses.
+#ifndef MONOMAP_BENCH_BENCH_COMMON_HPP
+#define MONOMAP_BENCH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace monomap::bench {
+
+/// Per-solve timeout in seconds. The paper used 4000 s on a 256 GB server;
+/// the harness defaults to a laptop-friendly budget and honours
+/// MONOMAP_TIMEOUT_S for full-fidelity reruns.
+inline double timeout_s(double fallback = 6.0) {
+  if (const char* env = std::getenv("MONOMAP_TIMEOUT_S")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Parse "2,5,10" style grid lists.
+inline std::vector<int> parse_grids(const std::string& arg) {
+  std::vector<int> grids;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok = arg.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) grids.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return grids;
+}
+
+}  // namespace monomap::bench
+
+#endif  // MONOMAP_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,60 @@
+// Regenerates the paper's Fig. 5: compilation time of the aes benchmark as
+// a function of CGRA size, for the decoupled monomorphism mapper and the
+// coupled SAT-MapIt-style baseline. The paper's observation: the baseline's
+// time grows steeply with the grid, the decoupled mapper's stays flat.
+//
+// Usage: bench_fig5 [benchmark] [--timeout S]   (default: aes)
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "mapper/coupled_mapper.hpp"
+#include "mapper/decoupled_mapper.hpp"
+#include "support/table.hpp"
+#include "workloads/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace monomap;
+  using namespace monomap::bench;
+
+  std::string name = "aes";
+  double timeout = timeout_s();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout" && i + 1 < argc) {
+      timeout = std::atof(argv[++i]);
+    } else if (arg[0] != '-') {
+      name = arg;
+    }
+  }
+  const Benchmark& b = benchmark_by_name(name);
+
+  std::cout << "Fig. 5 reproduction — compilation time vs CGRA size for '"
+            << b.name << "' (timeout " << timeout << " s)\n\n";
+  AsciiTable table({"CGRA", "Monomorphism[s]", "SAT-MapIt-style[s]", "II",
+                    "II(base)"});
+  std::cout << "csv: grid,mono_s,baseline_s\n";
+  for (const int side : {2, 3, 4, 5, 6, 8, 10, 12, 16, 20}) {
+    const CgraArch arch = CgraArch::square(side);
+    DecoupledMapperOptions mono_opt;
+    mono_opt.timeout_s = timeout;
+    const MapResult mono = DecoupledMapper(mono_opt).map(b.dfg, arch);
+    CoupledMapperOptions base_opt;
+    base_opt.timeout_s = timeout;
+    const CoupledMapResult base = CoupledSatMapper(base_opt).map(b.dfg, arch);
+    table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                   mono.success ? format_time_s(mono.total_s) : "TO",
+                   base.success ? format_time_s(base.total_s) : "TO",
+                   mono.success ? std::to_string(mono.ii) : "-",
+                   base.success ? std::to_string(base.ii) : "-"});
+    std::cout << "csv: " << side << ','
+              << (mono.success ? mono.total_s : -1.0) << ','
+              << (base.success ? base.total_s : -1.0) << '\n';
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\npaper shape: baseline grows from ~2.6 s (2x2) past the\n"
+               "4000 s timeout (20x20); the decoupled mapper stays ~0.5 s\n"
+               "across all sizes.\n";
+  return 0;
+}

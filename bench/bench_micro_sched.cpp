@@ -1,0 +1,78 @@
+// Micro-benchmark A6: scheduling front end and time-formulation encoding
+// costs (google-benchmark) — the grid-size-independent part of the
+// decoupled flow.
+#include <benchmark/benchmark.h>
+
+#include "sched/kms.hpp"
+#include "sched/mii.hpp"
+#include "sched/mobility.hpp"
+#include "timing/time_formulation.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace monomap;
+
+void BM_AsapAlapSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Benchmark& b : benchmark_suite()) {
+      const MobilitySchedule mobs(b.dfg);
+      benchmark::DoNotOptimize(mobs.length());
+    }
+  }
+}
+BENCHMARK(BM_AsapAlapSuite);
+
+void BM_RecurrenceMiiSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Benchmark& b : benchmark_suite()) {
+      benchmark::DoNotOptimize(recurrence_mii_of(b.dfg));
+    }
+  }
+}
+BENCHMARK(BM_RecurrenceMiiSuite);
+
+void BM_KmsFolding(benchmark::State& state) {
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  const MobilitySchedule mobs(b.dfg, 0);
+  for (auto _ : state) {
+    const Kms kms(mobs, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(kms.interleaved_iterations());
+  }
+}
+BENCHMARK(BM_KmsFolding)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TimeFormulationBuild(benchmark::State& state) {
+  // Encoding construction for the named benchmark at its mII on 5x5 — and,
+  // crucially, identical for any larger grid (grid-size independence).
+  const Benchmark& b =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const CgraArch arch = CgraArch::square(5);
+  const int ii = compute_mii(b.dfg, arch).mii();
+  for (auto _ : state) {
+    TimeFormulation f(b.dfg, arch, ii);
+    const bool ok = f.build();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_TimeFormulationBuild)->Arg(0)->Arg(4)->Arg(9)->Arg(12);
+
+void BM_TimeSolveAtMii(benchmark::State& state) {
+  const Benchmark& b =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const CgraArch arch = CgraArch::square(5);
+  const int ii = compute_mii(b.dfg, arch).mii();
+  for (auto _ : state) {
+    TimeFormulation f(b.dfg, arch, ii);
+    if (f.build()) {
+      benchmark::DoNotOptimize(f.solve(Deadline(30.0)));
+    }
+  }
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_TimeSolveAtMii)->Arg(0)->Arg(6)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

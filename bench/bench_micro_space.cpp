@@ -1,0 +1,109 @@
+// Micro-benchmark A5: monomorphism-search scaling (google-benchmark).
+//
+// The paper's space phase stays cheap as the grid grows because candidate
+// neighbourhoods are constant-size; this tracks search time vs grid side
+// and vs DFG size on schedule-realistic inputs.
+#include <benchmark/benchmark.h>
+
+#include "space/monomorphism.hpp"
+#include "timing/time_solver.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace monomap;
+
+struct Prepared {
+  const Dfg* dfg;
+  std::vector<int> labels;
+  int ii;
+};
+
+Prepared prepare(const Dfg& dfg, const CgraArch& arch) {
+  TimeSolver solver(dfg, arch);
+  const auto sol = solver.next(Deadline(30.0));
+  Prepared p{&dfg, {}, 1};
+  if (sol.has_value()) {
+    p.ii = sol->ii;
+    for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+      p.labels.push_back(sol->label(v));
+    }
+  }
+  return p;
+}
+
+void BM_MonoVsGridSide(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const CgraArch arch = CgraArch::square(side);
+  const Benchmark& b = benchmark_by_name("fft");
+  const Prepared p = prepare(b.dfg, arch);
+  if (p.labels.empty()) {
+    state.SkipWithError("no schedule");
+    return;
+  }
+  for (auto _ : state) {
+    const SpaceResult r = find_monomorphism(*p.dfg, arch, p.labels, p.ii);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_MonoVsGridSide)->Arg(4)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_MonoVsDfgSize(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const CgraArch arch = CgraArch::square(8);
+  SyntheticSpec spec;
+  spec.num_nodes = nodes;
+  spec.seed = 11;
+  static std::vector<Dfg> keep;  // keep DFGs alive across iterations
+  keep.push_back(random_dfg(spec));
+  const Dfg& dfg = keep.back();
+  const Prepared p = prepare(dfg, arch);
+  if (p.labels.empty()) {
+    state.SkipWithError("no schedule");
+    return;
+  }
+  for (auto _ : state) {
+    const SpaceResult r = find_monomorphism(dfg, arch, p.labels, p.ii);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_MonoVsDfgSize)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MonoHardestSuiteCase(benchmark::State& state) {
+  // hotspot3D is the suite's widest DFG and the paper's space-timeout case.
+  const CgraArch arch = CgraArch::square(static_cast<int>(state.range(0)));
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  TimeSolver solver(b.dfg, arch);
+  // Collect a handful of schedules; measure total space effort over them.
+  std::vector<Prepared> schedules;
+  for (int round = 0; round < 4; ++round) {
+    const auto sol = solver.next(Deadline(30.0));
+    if (!sol.has_value()) break;
+    Prepared p{&b.dfg, {}, sol->ii};
+    for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+      p.labels.push_back(sol->label(v));
+    }
+    schedules.push_back(std::move(p));
+  }
+  if (schedules.empty()) {
+    state.SkipWithError("no schedule");
+    return;
+  }
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (const Prepared& p : schedules) {
+      SpaceOptions opt;
+      opt.max_backtracks = 50'000;
+      const SpaceResult r =
+          find_monomorphism(*p.dfg, arch, p.labels, p.ii, opt);
+      total += r.backtracks;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MonoHardestSuiteCase)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#include "arch/cgra.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace monomap {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kMesh: return "mesh";
+    case Topology::kTorus: return "torus";
+    case Topology::kDiagonal: return "diagonal";
+  }
+  return "?";
+}
+
+CgraArch::CgraArch(int rows, int cols, Topology topology)
+    : rows_(rows), cols_(cols), topology_(topology) {
+  MONOMAP_ASSERT_MSG(rows >= 1 && cols >= 1,
+                     "CGRA must have at least one PE; got " << rows << "x"
+                                                            << cols);
+  const int n = num_pes();
+  neighbors_.resize(static_cast<std::size_t>(n));
+  closed_neighbors_.resize(static_cast<std::size_t>(n));
+
+  auto maybe_add = [&](PeId from, int r, int c) {
+    if (topology_ == Topology::kTorus) {
+      r = (r + rows_) % rows_;
+      c = (c + cols_) % cols_;
+    } else if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+      return;
+    }
+    const PeId to = pe_at(r, c);
+    if (to == from) {
+      return;  // torus wrap on a 1-wide dimension
+    }
+    auto& list = neighbors_[static_cast<std::size_t>(from)];
+    if (std::find(list.begin(), list.end(), to) == list.end()) {
+      list.push_back(to);
+    }
+  };
+
+  for (PeId pe = 0; pe < n; ++pe) {
+    const int r = row_of(pe);
+    const int c = col_of(pe);
+    maybe_add(pe, r - 1, c);
+    maybe_add(pe, r + 1, c);
+    maybe_add(pe, r, c - 1);
+    maybe_add(pe, r, c + 1);
+    if (topology_ == Topology::kDiagonal) {
+      maybe_add(pe, r - 1, c - 1);
+      maybe_add(pe, r - 1, c + 1);
+      maybe_add(pe, r + 1, c - 1);
+      maybe_add(pe, r + 1, c + 1);
+    }
+    std::sort(neighbors_[static_cast<std::size_t>(pe)].begin(),
+              neighbors_[static_cast<std::size_t>(pe)].end());
+    auto& closed = closed_neighbors_[static_cast<std::size_t>(pe)];
+    closed = neighbors_[static_cast<std::size_t>(pe)];
+    closed.push_back(pe);
+    std::sort(closed.begin(), closed.end());
+    degree_ = std::max(degree_, static_cast<int>(closed.size()));
+  }
+}
+
+bool CgraArch::adjacent(PeId a, PeId b) const {
+  MONOMAP_ASSERT(has_pe(a) && has_pe(b));
+  const auto& list = neighbors_[static_cast<std::size_t>(a)];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+std::string CgraArch::description() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " " << topology_name(topology_)
+     << " CGRA (" << num_pes() << " PEs, D_M=" << degree_ << ")";
+  return os.str();
+}
+
+}  // namespace monomap

@@ -1,0 +1,91 @@
+// CGRA architecture model (paper Fig. 1).
+//
+// A rectangular grid of PEs; every PE has an ALU, a register file that
+// neighbouring PEs can read (the paper's target architecture, Sec. V), and a
+// port to the shared data memory. The interconnect topology is configurable;
+// the paper evaluates the 2D near-neighbour mesh.
+#ifndef MONOMAP_ARCH_CGRA_HPP
+#define MONOMAP_ARCH_CGRA_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+using PeId = std::int32_t;
+
+/// Interconnect topology of the grid.
+enum class Topology {
+  kMesh,      // 4-neighbour von-Neumann mesh (the paper's architecture)
+  kTorus,     // 4-neighbour with wrap-around links
+  kDiagonal,  // 8-neighbour king mesh
+};
+
+const char* topology_name(Topology t);
+
+/// A rows x cols CGRA. PEs are numbered row-major: pe = row * cols + col.
+class CgraArch {
+ public:
+  CgraArch(int rows, int cols, Topology topology = Topology::kMesh);
+
+  /// Square mesh shorthand: n x n, as in the paper's "2x2 .. 20x20".
+  static CgraArch square(int n, Topology topology = Topology::kMesh) {
+    return CgraArch(n, n, topology);
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int num_pes() const { return rows_ * cols_; }
+  [[nodiscard]] Topology topology() const { return topology_; }
+
+  [[nodiscard]] bool has_pe(PeId pe) const {
+    return pe >= 0 && pe < num_pes();
+  }
+  [[nodiscard]] int row_of(PeId pe) const { return pe / cols_; }
+  [[nodiscard]] int col_of(PeId pe) const { return pe % cols_; }
+  [[nodiscard]] PeId pe_at(int row, int col) const {
+    MONOMAP_ASSERT(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return row * cols_ + col;
+  }
+
+  /// Mesh neighbours of `pe`, excluding `pe` itself.
+  [[nodiscard]] const std::vector<PeId>& neighbors(PeId pe) const {
+    MONOMAP_ASSERT(has_pe(pe));
+    return neighbors_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Neighbours plus the PE itself ("closed neighbourhood"): the set of PEs
+  /// whose register files `pe` can read (own RF + neighbour RFs).
+  [[nodiscard]] const std::vector<PeId>& closed_neighbors(PeId pe) const {
+    MONOMAP_ASSERT(has_pe(pe));
+    return closed_neighbors_[static_cast<std::size_t>(pe)];
+  }
+
+  [[nodiscard]] bool adjacent(PeId a, PeId b) const;
+
+  /// adjacent(a,b) || a == b.
+  [[nodiscard]] bool adjacent_or_same(PeId a, PeId b) const {
+    return a == b || adjacent(a, b);
+  }
+
+  /// The paper's connectivity degree D_M: the maximum closed-neighbourhood
+  /// size over all PEs (3 on a 2x2 mesh, 5 on 3x3-and-larger meshes).
+  [[nodiscard]] int connectivity_degree() const { return degree_; }
+
+  [[nodiscard]] std::string description() const;
+
+ private:
+  int rows_;
+  int cols_;
+  Topology topology_;
+  int degree_ = 0;
+  std::vector<std::vector<PeId>> neighbors_;
+  std::vector<std::vector<PeId>> closed_neighbors_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_ARCH_CGRA_HPP

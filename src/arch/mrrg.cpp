@@ -1,0 +1,55 @@
+#include "arch/mrrg.hpp"
+
+namespace monomap {
+
+Mrrg::Mrrg(const CgraArch& arch, int ii, MrrgModel model)
+    : arch_(&arch), ii_(ii), model_(model) {
+  MONOMAP_ASSERT_MSG(ii >= 1, "MRRG needs II >= 1, got " << ii);
+}
+
+bool Mrrg::slots_adjacent(int si, int sj) const {
+  if (model_ == MrrgModel::kRegisterPersistence) {
+    return true;  // values persist in register files across the kernel window
+  }
+  // Consecutive-only: same slot, or cyclically consecutive slots.
+  if (si == sj) return true;
+  const int d = (sj - si + ii_) % ii_;
+  return d == 1 || d == ii_ - 1;
+}
+
+bool Mrrg::adjacent(MrrgVertexId a, MrrgVertexId b) const {
+  if (a == b) return false;
+  const PeId pa = pe_of(a);
+  const PeId pb = pe_of(b);
+  if (!arch_->adjacent_or_same(pa, pb)) return false;
+  return slots_adjacent(slot_of(a), slot_of(b));
+}
+
+std::vector<MrrgVertexId> Mrrg::neighbors(MrrgVertexId v) const {
+  std::vector<MrrgVertexId> result;
+  const PeId pv = pe_of(v);
+  const int sv = slot_of(v);
+  const auto& closed = arch_->closed_neighbors(pv);
+  result.reserve(closed.size() * static_cast<std::size_t>(ii_));
+  for (int slot = 0; slot < ii_; ++slot) {
+    if (!slots_adjacent(sv, slot)) continue;
+    for (const PeId q : closed) {
+      const MrrgVertexId w = vertex(q, slot);
+      if (w != v) {
+        result.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+std::int64_t Mrrg::count_edges() const {
+  std::int64_t twice = 0;
+  for (MrrgVertexId v = 0; v < num_vertices(); ++v) {
+    twice += static_cast<std::int64_t>(neighbors(v).size());
+  }
+  MONOMAP_ASSERT(twice % 2 == 0);
+  return twice / 2;
+}
+
+}  // namespace monomap

@@ -1,0 +1,93 @@
+#include "encode/cnf_builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+SatVar CnfBuilder::fresh() {
+  ++aux_vars_;
+  return solver_->new_var();
+}
+
+bool CnfBuilder::at_least_one(const std::vector<Lit>& lits) {
+  return solver_->add_clause(lits);
+}
+
+bool CnfBuilder::at_most_one(const std::vector<Lit>& lits) {
+  if (lits.size() <= 1) return true;
+  if (lits.size() <= 8) {
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      for (std::size_t j = i + 1; j < lits.size(); ++j) {
+        if (!forbid_pair(lits[i], lits[j])) return false;
+      }
+    }
+    return true;
+  }
+  return at_most_k(lits, 1);
+}
+
+bool CnfBuilder::exactly_one(const std::vector<Lit>& lits) {
+  MONOMAP_ASSERT(!lits.empty());
+  return at_least_one(lits) && at_most_one(lits);
+}
+
+bool CnfBuilder::at_most_k(const std::vector<Lit>& lits, int k) {
+  MONOMAP_ASSERT(k >= 0);
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return true;
+  if (k == 0) {
+    for (const Lit l : lits) {
+      if (!solver_->add_unit(~l)) return false;
+    }
+    return true;
+  }
+  // Sinz sequential counter: s[i][j] = "at least j+1 of lits[0..i] are true".
+  // Laid out as a flat (n-1) x k array of fresh variables.
+  auto s = [&](int i, int j) { return regs_[static_cast<std::size_t>(i * k + j)]; };
+  regs_.clear();
+  regs_.reserve(static_cast<std::size_t>((n - 1) * k));
+  for (int i = 0; i < (n - 1) * k; ++i) {
+    regs_.push_back(fresh());
+  }
+  bool ok = true;
+  // x0 -> s(0,0); s(0,j) false for j >= 1.
+  ok = ok && solver_->add_binary(~lits[0], Lit::pos(s(0, 0)));
+  for (int j = 1; j < k; ++j) {
+    ok = ok && solver_->add_unit(Lit::neg(s(0, j)));
+  }
+  for (int i = 1; i < n - 1; ++i) {
+    ok = ok && solver_->add_binary(~lits[static_cast<std::size_t>(i)],
+                                   Lit::pos(s(i, 0)));
+    ok = ok && solver_->add_binary(Lit::neg(s(i - 1, 0)), Lit::pos(s(i, 0)));
+    for (int j = 1; j < k; ++j) {
+      ok = ok && solver_->add_ternary(~lits[static_cast<std::size_t>(i)],
+                                      Lit::neg(s(i - 1, j - 1)),
+                                      Lit::pos(s(i, j)));
+      ok = ok && solver_->add_binary(Lit::neg(s(i - 1, j)), Lit::pos(s(i, j)));
+    }
+    ok = ok && solver_->add_binary(~lits[static_cast<std::size_t>(i)],
+                                   Lit::neg(s(i - 1, k - 1)));
+  }
+  ok = ok && solver_->add_binary(~lits[static_cast<std::size_t>(n - 1)],
+                                 Lit::neg(s(n - 2, k - 1)));
+  return ok;
+}
+
+bool CnfBuilder::implies_clause(Lit antecedent, std::vector<Lit> consequents) {
+  consequents.push_back(~antecedent);
+  return solver_->add_clause(std::move(consequents));
+}
+
+bool CnfBuilder::equiv_or(Lit y, const std::vector<Lit>& lits) {
+  // y -> OR(lits)
+  std::vector<Lit> clause = lits;
+  clause.push_back(~y);
+  if (!solver_->add_clause(std::move(clause))) return false;
+  // each lit -> y
+  for (const Lit l : lits) {
+    if (!solver_->add_binary(~l, y)) return false;
+  }
+  return true;
+}
+
+}  // namespace monomap

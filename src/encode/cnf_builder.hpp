@@ -1,0 +1,65 @@
+// Finite-domain-to-CNF encoding helpers (DESIGN.md S8).
+//
+// The time formulation and the coupled baseline both need: one-hot selection
+// ("node v is scheduled at exactly one of its candidate times"), cardinality
+// bounds ("at most |PEs| nodes per kernel slot"), and implications. This
+// layer provides them on top of the raw SAT solver, playing the role Z3's
+// theories play in the paper's toolchain.
+#ifndef MONOMAP_ENCODE_CNF_BUILDER_HPP
+#define MONOMAP_ENCODE_CNF_BUILDER_HPP
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace monomap {
+
+/// Stateless helpers adding encodings to a solver. All functions return
+/// false if the solver became trivially unsatisfiable.
+class CnfBuilder {
+ public:
+  explicit CnfBuilder(SatSolver& solver) : solver_(&solver) {}
+
+  [[nodiscard]] SatSolver& solver() { return *solver_; }
+
+  /// OR(lits) — at least one.
+  bool at_least_one(const std::vector<Lit>& lits);
+
+  /// At most one of `lits`: pairwise for <= 8 literals, sequential
+  /// (Sinz) encoding above that.
+  bool at_most_one(const std::vector<Lit>& lits);
+
+  /// Exactly one of `lits`.
+  bool exactly_one(const std::vector<Lit>& lits);
+
+  /// Sinz sequential-counter at-most-k. k >= lits.size() is a no-op;
+  /// k == 0 forces all literals false.
+  bool at_most_k(const std::vector<Lit>& lits, int k);
+
+  /// antecedent -> OR(consequents), i.e. clause (~antecedent v consequents).
+  bool implies_clause(Lit antecedent, std::vector<Lit> consequents);
+
+  /// a -> b.
+  bool implies(Lit a, Lit b) { return solver_->add_binary(~a, b); }
+
+  /// NOT(a AND b) — conflict pair.
+  bool forbid_pair(Lit a, Lit b) { return solver_->add_binary(~a, ~b); }
+
+  /// y <-> OR(lits): used to alias "node v occupies kernel slot i" to the
+  /// disjunction of its candidate absolute times congruent to i.
+  bool equiv_or(Lit y, const std::vector<Lit>& lits);
+
+  /// Number of auxiliary variables created so far by this builder.
+  [[nodiscard]] std::int64_t aux_vars() const { return aux_vars_; }
+
+ private:
+  SatVar fresh();
+
+  SatSolver* solver_;
+  std::int64_t aux_vars_ = 0;
+  std::vector<SatVar> regs_;  // scratch for the sequential counter
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_ENCODE_CNF_BUILDER_HPP

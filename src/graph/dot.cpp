@@ -1,0 +1,32 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace monomap {
+
+std::string to_dot(const Graph& g, const std::string& name,
+                   const std::function<std::string(NodeId)>& node_label) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (node_label) {
+      os << node_label(v);
+    } else {
+      os << v;
+    }
+    os << "\"];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    if (edge.attr != 0) {
+      os << " [color=red, label=\"" << edge.attr << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace monomap

@@ -1,0 +1,21 @@
+// Graphviz DOT export for debugging and documentation figures.
+#ifndef MONOMAP_GRAPH_DOT_HPP
+#define MONOMAP_GRAPH_DOT_HPP
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace monomap {
+
+/// Render `g` as a DOT digraph. `node_label` supplies per-node labels
+/// (defaults to the node id); edges with non-zero attribute are drawn red and
+/// annotated with the attribute, matching the paper's Fig. 2a convention for
+/// loop-carried dependencies.
+std::string to_dot(const Graph& g, const std::string& name = "G",
+                   const std::function<std::string(NodeId)>& node_label = {});
+
+}  // namespace monomap
+
+#endif  // MONOMAP_GRAPH_DOT_HPP

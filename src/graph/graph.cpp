@@ -1,0 +1,45 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace monomap {
+
+int Graph::undirected_degree(NodeId v) const {
+  int self_edges = 0;
+  for (EdgeId e : out_edges(v)) {
+    if (edge(e).dst == v) {
+      ++self_edges;
+    }
+  }
+  return out_degree(v) + in_degree(v) - self_edges;
+}
+
+std::vector<NodeId> Graph::undirected_neighbors(NodeId v) const {
+  std::vector<NodeId> result;
+  result.reserve(static_cast<std::size_t>(out_degree(v) + in_degree(v)));
+  for (EdgeId e : out_edges(v)) {
+    if (edge(e).dst != v) {
+      result.push_back(edge(e).dst);
+    }
+  }
+  for (EdgeId e : in_edges(v)) {
+    if (edge(e).src != v) {
+      result.push_back(edge(e).src);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool Graph::are_adjacent(NodeId u, NodeId v) const {
+  for (EdgeId e : out_edges(u)) {
+    if (edge(e).dst == v) return true;
+  }
+  for (EdgeId e : in_edges(u)) {
+    if (edge(e).src == v) return true;
+  }
+  return false;
+}
+
+}  // namespace monomap

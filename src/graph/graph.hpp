@@ -1,0 +1,113 @@
+// Directed multigraph with integer edge attributes.
+//
+// This is the shared graph substrate: DFGs store the loop-carried dependency
+// distance in the edge attribute, the MRRG and other derived graphs use it as
+// a plain tag. Nodes and edges are dense integer ids, which keeps every
+// algorithm allocation-light and cache-friendly.
+#ifndef MONOMAP_GRAPH_GRAPH_HPP
+#define MONOMAP_GRAPH_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// A directed edge; `attr` is caller-defined (DFG: loop-carried distance).
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int attr = 0;
+};
+
+/// Directed multigraph with O(1) id-based access and per-node in/out
+/// adjacency. Self-edges and parallel edges are allowed (DFGs need both:
+/// accumulators are self-edges with distance >= 1).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Create a graph with `n` isolated nodes.
+  explicit Graph(int n) { add_nodes(n); }
+
+  NodeId add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  void add_nodes(int count) {
+    MONOMAP_ASSERT(count >= 0);
+    for (int i = 0; i < count; ++i) {
+      add_node();
+    }
+  }
+
+  EdgeId add_edge(NodeId src, NodeId dst, int attr = 0) {
+    MONOMAP_ASSERT(has_node(src) && has_node(dst));
+    const auto id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{src, dst, attr});
+    out_[static_cast<std::size_t>(src)].push_back(id);
+    in_[static_cast<std::size_t>(dst)].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  [[nodiscard]] bool has_node(NodeId v) const {
+    return v >= 0 && v < num_nodes();
+  }
+  [[nodiscard]] bool has_edge(EdgeId e) const {
+    return e >= 0 && e < num_edges();
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    MONOMAP_ASSERT(has_edge(e));
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId v) const {
+    MONOMAP_ASSERT(has_node(v));
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId v) const {
+    MONOMAP_ASSERT(has_node(v));
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] int out_degree(NodeId v) const {
+    return static_cast<int>(out_edges(v).size());
+  }
+  [[nodiscard]] int in_degree(NodeId v) const {
+    return static_cast<int>(in_edges(v).size());
+  }
+
+  /// Total degree in the *undirected* sense; a self-edge counts once.
+  [[nodiscard]] int undirected_degree(NodeId v) const;
+
+  /// Distinct undirected neighbours of `v`, excluding `v` itself,
+  /// deduplicated and sorted.
+  [[nodiscard]] std::vector<NodeId> undirected_neighbors(NodeId v) const;
+
+  /// True if some edge (in either direction, any attribute) links u and v.
+  [[nodiscard]] bool are_adjacent(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_GRAPH_GRAPH_HPP

@@ -1,0 +1,63 @@
+// Data Flow Graph extracted from a LoopKernel (paper Sec. III-A, Fig. 2a).
+//
+// Nodes are instructions; a directed edge (u -> v, attr = d) records that v
+// consumes the value u produced d iterations earlier. d = 0 edges are the
+// paper's black "data dependencies", d >= 1 edges the red "loop-carried
+// dependencies".
+#ifndef MONOMAP_IR_DFG_HPP
+#define MONOMAP_IR_DFG_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ir/kernel.hpp"
+
+namespace monomap {
+
+/// A DFG: the structural graph plus per-node opcode/name metadata.
+/// Parallel edges between the same pair (same operand used twice) are
+/// collapsed per (src, dst, distance) triple — the mapping problem only
+/// cares about the dependence, not its multiplicity.
+class Dfg {
+ public:
+  /// Extract the DFG of `kernel` (which must validate()).
+  static Dfg from_kernel(const LoopKernel& kernel);
+
+  /// Build a bare DFG from an explicit edge list (used by synthetic
+  /// workloads and tests). Edges are (src, dst, distance).
+  static Dfg from_edges(std::string name, int num_nodes,
+                        const std::vector<Edge>& edges);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] int num_nodes() const { return graph_.num_nodes(); }
+  [[nodiscard]] int num_edges() const { return graph_.num_edges(); }
+
+  [[nodiscard]] Opcode opcode(NodeId v) const;
+  [[nodiscard]] const std::string& node_name(NodeId v) const;
+
+  /// Max undirected degree over nodes (self-edges excluded) — the quantity
+  /// the paper's connectivity constraints bound per time step.
+  [[nodiscard]] int max_undirected_degree() const;
+
+  /// True if every node is reachable from every other ignoring direction.
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  Dfg(std::string name, Graph graph, std::vector<Opcode> ops,
+      std::vector<std::string> names)
+      : name_(std::move(name)),
+        graph_(std::move(graph)),
+        ops_(std::move(ops)),
+        names_(std::move(names)) {}
+
+  std::string name_;
+  Graph graph_;
+  std::vector<Opcode> ops_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_IR_DFG_HPP

@@ -1,0 +1,126 @@
+#include "ir/interpreter.hpp"
+
+#include <deque>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace monomap {
+
+std::int64_t DataMemory::read(int space, std::int64_t addr) const {
+  const auto it = cells_.find({space, addr});
+  if (it != cells_.end()) {
+    return it->second;
+  }
+  // Deterministic "initial array contents": small values keep products and
+  // shifts within comfortable ranges for test comparison.
+  const std::uint64_t h =
+      mix64(salt_ ^ (static_cast<std::uint64_t>(space) << 56) ^
+            static_cast<std::uint64_t>(addr) * 0x9E3779B97F4A7C15ULL);
+  return static_cast<std::int64_t>(h % 1024);
+}
+
+void DataMemory::write(int space, std::int64_t addr, std::int64_t value) {
+  cells_[{space, addr}] = value;
+}
+
+namespace {
+
+/// Topological order of the distance-0 dependence DAG.
+std::vector<InstrId> execution_order(const LoopKernel& kernel) {
+  const int n = kernel.size();
+  std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<InstrId>> consumers(static_cast<std::size_t>(n));
+  for (InstrId id = 0; id < n; ++id) {
+    for (const OperandRef& o : kernel.instr(id).operands) {
+      if (o.distance == 0) {
+        ++in_deg[static_cast<std::size_t>(id)];
+        consumers[static_cast<std::size_t>(o.producer)].push_back(id);
+      }
+    }
+  }
+  std::deque<InstrId> ready;
+  for (InstrId id = 0; id < n; ++id) {
+    if (in_deg[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+  std::vector<InstrId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const InstrId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (InstrId c : consumers[static_cast<std::size_t>(v)]) {
+      if (--in_deg[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  MONOMAP_ASSERT(static_cast<int>(order.size()) == n);
+  return order;
+}
+
+}  // namespace
+
+ExecutionTrace interpret(const LoopKernel& kernel, int iterations,
+                         DataMemory memory) {
+  kernel.validate();
+  MONOMAP_ASSERT(iterations >= 0);
+  const int n = kernel.size();
+  const std::vector<InstrId> order = execution_order(kernel);
+
+  ExecutionTrace trace;
+  trace.memory = std::move(memory);
+  trace.values.assign(static_cast<std::size_t>(iterations),
+                      std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+
+  auto operand_value = [&](const OperandRef& o, int iter) -> std::int64_t {
+    const int src_iter = iter - o.distance;
+    if (src_iter < 0) {
+      return kernel.instr(o.producer).init;
+    }
+    return trace.values[static_cast<std::size_t>(src_iter)]
+                       [static_cast<std::size_t>(o.producer)];
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    auto& vals = trace.values[static_cast<std::size_t>(iter)];
+    for (const InstrId id : order) {
+      const Instruction& in = kernel.instr(id);
+      std::int64_t result = 0;
+      switch (in.op) {
+        case Opcode::kConst:
+          result = in.imm;
+          break;
+        case Opcode::kIndex:
+          result = iter;
+          break;
+        case Opcode::kLoad:
+          result = trace.memory.read(static_cast<int>(in.imm),
+                                     operand_value(in.operands[0], iter));
+          break;
+        case Opcode::kStore: {
+          const std::int64_t addr = operand_value(in.operands[0], iter);
+          result = operand_value(in.operands[1], iter);
+          trace.memory.write(static_cast<int>(in.imm), addr, result);
+          break;
+        }
+        default: {
+          const std::int64_t a =
+              !in.operands.empty() ? operand_value(in.operands[0], iter) : 0;
+          const std::int64_t b =
+              in.rhs_is_imm
+                  ? in.imm
+                  : (in.operands.size() > 1
+                         ? operand_value(in.operands[1], iter)
+                         : 0);
+          const std::int64_t c =
+              in.operands.size() > 2 ? operand_value(in.operands[2], iter) : 0;
+          result = eval_pure(in.op, a, b, c);
+          break;
+        }
+      }
+      vals[static_cast<std::size_t>(id)] = result;
+    }
+  }
+  return trace;
+}
+
+}  // namespace monomap

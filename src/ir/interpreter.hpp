@@ -1,0 +1,58 @@
+// Sequential reference interpreter for LoopKernels.
+//
+// Executes the loop body iteration by iteration exactly as a scalar CPU
+// would. The CGRA simulator (src/sim) replays the *mapped* schedule and must
+// produce bit-identical results — this is the oracle side of that check.
+#ifndef MONOMAP_IR_INTERPRETER_HPP
+#define MONOMAP_IR_INTERPRETER_HPP
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace monomap {
+
+/// Sparse data memory shared by all kernels. Reads of never-written cells
+/// return a deterministic pseudo-random value derived from (space, address),
+/// so "input arrays" have reproducible contents without explicit setup.
+class DataMemory {
+ public:
+  explicit DataMemory(std::uint64_t salt = 0) : salt_(salt) {}
+
+  [[nodiscard]] std::int64_t read(int space, std::int64_t addr) const;
+  void write(int space, std::int64_t addr, std::int64_t value);
+
+  /// All cells ever written, in deterministic (space, addr) order.
+  [[nodiscard]] const std::map<std::pair<int, std::int64_t>, std::int64_t>&
+  written_cells() const {
+    return cells_;
+  }
+
+  bool operator==(const DataMemory& other) const {
+    return cells_ == other.cells_;
+  }
+
+ private:
+  std::uint64_t salt_;
+  std::map<std::pair<int, std::int64_t>, std::int64_t> cells_;
+};
+
+/// Result of running a kernel for N iterations.
+struct ExecutionTrace {
+  /// values[i][v] = value produced by instruction v in iteration i.
+  std::vector<std::vector<std::int64_t>> values;
+  DataMemory memory;
+};
+
+/// Run `kernel` sequentially for `iterations` iterations starting from
+/// `memory` (moved in). Loop-carried references with i - d < 0 observe the
+/// producer instruction's `init` value.
+ExecutionTrace interpret(const LoopKernel& kernel, int iterations,
+                         DataMemory memory = DataMemory());
+
+}  // namespace monomap
+
+#endif  // MONOMAP_IR_INTERPRETER_HPP

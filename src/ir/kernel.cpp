@@ -1,0 +1,171 @@
+#include "ir/kernel.hpp"
+
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+const Instruction& LoopKernel::instr(InstrId id) const {
+  MONOMAP_ASSERT(id >= 0 && id < size());
+  return instrs_[static_cast<std::size_t>(id)];
+}
+
+InstrId LoopKernel::append(Instruction instr) {
+  const auto id = static_cast<InstrId>(instrs_.size());
+  if (instr.name.empty()) {
+    instr.name = std::string(opcode_name(instr.op)) + std::to_string(id);
+  }
+  instrs_.push_back(std::move(instr));
+  return id;
+}
+
+InstrId LoopKernel::constant(std::int64_t value, std::string name) {
+  Instruction in;
+  in.op = Opcode::kConst;
+  in.imm = value;
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::index(std::string name) {
+  Instruction in;
+  in.op = Opcode::kIndex;
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::load(int space, OperandRef addr, std::string name) {
+  Instruction in;
+  in.op = Opcode::kLoad;
+  in.imm = space;
+  in.operands = {addr};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::store(int space, OperandRef addr, OperandRef value,
+                          std::string name) {
+  Instruction in;
+  in.op = Opcode::kStore;
+  in.imm = space;
+  in.operands = {addr, value};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::unary(Opcode op, OperandRef a, std::string name) {
+  MONOMAP_ASSERT(opcode_arity(op) == 1 && !opcode_is_memory(op));
+  Instruction in;
+  in.op = op;
+  in.operands = {a};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::binary(Opcode op, OperandRef a, OperandRef b,
+                           std::string name) {
+  MONOMAP_ASSERT(opcode_arity(op) == 2 && !opcode_is_memory(op));
+  Instruction in;
+  in.op = op;
+  in.operands = {a, b};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::binary_imm(Opcode op, OperandRef a, std::int64_t rhs,
+                               std::string name) {
+  MONOMAP_ASSERT(opcode_arity(op) == 2 && !opcode_is_memory(op));
+  Instruction in;
+  in.op = op;
+  in.operands = {a};
+  in.imm = rhs;
+  in.rhs_is_imm = true;
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::phi(OperandRef value, std::string name) {
+  Instruction in;
+  in.op = Opcode::kPhi;
+  in.operands = {value};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+InstrId LoopKernel::select(OperandRef cond, OperandRef if_true,
+                           OperandRef if_false, std::string name) {
+  Instruction in;
+  in.op = Opcode::kSelect;
+  in.operands = {cond, if_true, if_false};
+  in.name = std::move(name);
+  return append(std::move(in));
+}
+
+void LoopKernel::set_init(InstrId id, std::int64_t init_value) {
+  MONOMAP_ASSERT(id >= 0 && id < size());
+  instrs_[static_cast<std::size_t>(id)].init = init_value;
+}
+
+void LoopKernel::set_operand(InstrId id, int operand_index, OperandRef ref) {
+  MONOMAP_ASSERT(id >= 0 && id < size());
+  auto& ops = instrs_[static_cast<std::size_t>(id)].operands;
+  MONOMAP_ASSERT(operand_index >= 0 &&
+                 operand_index < static_cast<int>(ops.size()));
+  ops[static_cast<std::size_t>(operand_index)] = ref;
+}
+
+void LoopKernel::validate() const {
+  const int n = size();
+  std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
+  for (InstrId id = 0; id < n; ++id) {
+    const Instruction& in = instrs_[static_cast<std::size_t>(id)];
+    int expected = opcode_arity(in.op);
+    if (in.rhs_is_imm) {
+      MONOMAP_ASSERT_MSG(expected == 2 && !opcode_is_memory(in.op),
+                         "instr " << id << ": rhs_is_imm requires a binary ALU op");
+      expected = 1;
+    }
+    MONOMAP_ASSERT_MSG(
+        static_cast<int>(in.operands.size()) == expected,
+        "instr " << id << " (" << opcode_name(in.op) << ") has "
+                 << in.operands.size() << " operands");
+    for (const OperandRef& o : in.operands) {
+      MONOMAP_ASSERT_MSG(o.producer >= 0 && o.producer < n,
+                         "instr " << id << " references out-of-range producer "
+                                  << o.producer);
+      MONOMAP_ASSERT_MSG(o.distance >= 0,
+                         "instr " << id << " has negative distance");
+      if (o.distance == 0) {
+        ++in_deg[static_cast<std::size_t>(id)];
+      }
+    }
+  }
+  // Kahn over distance-0 references to confirm acyclicity.
+  std::deque<InstrId> ready;
+  for (InstrId id = 0; id < n; ++id) {
+    if (in_deg[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+  // consumers-by-producer index
+  std::vector<std::vector<InstrId>> consumers(static_cast<std::size_t>(n));
+  for (InstrId id = 0; id < n; ++id) {
+    for (const OperandRef& o : instrs_[static_cast<std::size_t>(id)].operands) {
+      if (o.distance == 0) {
+        consumers[static_cast<std::size_t>(o.producer)].push_back(id);
+      }
+    }
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const InstrId v = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (InstrId c : consumers[static_cast<std::size_t>(v)]) {
+      if (--in_deg[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  MONOMAP_ASSERT_MSG(visited == n,
+                     "kernel '" << name_ << "' has a zero-distance dependency cycle");
+}
+
+}  // namespace monomap

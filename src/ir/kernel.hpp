@@ -1,0 +1,102 @@
+// Loop-body IR: the unit of compilation.
+//
+// A LoopKernel is the body of an innermost loop with no calls or branches —
+// exactly the loops the paper selects from MiBench/Rodinia. Instructions
+// reference producer instructions directly; a reference can carry a
+// loop-carried *distance* d, meaning "the value `producer` computed d
+// iterations ago" (d = 0 is a plain intra-iteration data dependency).
+// This replaces LLVM IR + DFG extraction in the paper's flow (DESIGN.md S3).
+#ifndef MONOMAP_IR_KERNEL_HPP
+#define MONOMAP_IR_KERNEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace monomap {
+
+using InstrId = std::int32_t;
+
+/// Reference to the value of `producer`, `distance` iterations back.
+struct OperandRef {
+  InstrId producer = -1;
+  int distance = 0;
+};
+
+/// One IR instruction. `imm` is the value of kConst, the memory space of
+/// kLoad/kStore, or (when rhs_is_imm) the embedded right-hand-side constant
+/// of a binary ALU op — mirroring LLVM, where constants are immediates and
+/// not DFG nodes. `init` is the value a loop-carried reference observes for
+/// iterations before the first (e.g. an accumulator's initial value).
+struct Instruction {
+  Opcode op = Opcode::kConst;
+  std::vector<OperandRef> operands;
+  std::int64_t imm = 0;
+  std::int64_t init = 0;
+  bool rhs_is_imm = false;
+  std::string name;
+};
+
+/// An innermost-loop body. Instructions are stored in program order; operand
+/// distance-0 references must form a DAG (checked by validate()).
+class LoopKernel {
+ public:
+  explicit LoopKernel(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int size() const { return static_cast<int>(instrs_.size()); }
+  [[nodiscard]] const Instruction& instr(InstrId id) const;
+  [[nodiscard]] const std::vector<Instruction>& instructions() const {
+    return instrs_;
+  }
+
+  /// Append a fully-formed instruction; returns its id.
+  InstrId append(Instruction instr);
+
+  // --- Builder shorthands (used by the workload suite) -------------------
+
+  InstrId constant(std::int64_t value, std::string name = "");
+  InstrId index(std::string name = "i");
+  InstrId load(int space, OperandRef addr, std::string name = "");
+  InstrId store(int space, OperandRef addr, OperandRef value,
+                std::string name = "");
+  InstrId unary(Opcode op, OperandRef a, std::string name = "");
+  InstrId binary(Opcode op, OperandRef a, OperandRef b, std::string name = "");
+  /// Binary ALU op with an embedded constant right-hand side (one DFG edge).
+  InstrId binary_imm(Opcode op, OperandRef a, std::int64_t rhs,
+                     std::string name = "");
+  /// Loop-header phi; `value` is usually a carried() reference.
+  InstrId phi(OperandRef value, std::string name = "");
+  InstrId select(OperandRef cond, OperandRef if_true, OperandRef if_false,
+                 std::string name = "");
+
+  /// Set the pre-loop value observed by loop-carried references to `id`.
+  void set_init(InstrId id, std::int64_t init_value);
+
+  /// Replace an operand after construction — used to close recurrence
+  /// cycles: build the phi with a placeholder, then patch in the carried
+  /// reference once the cycle's tail instruction exists.
+  void set_operand(InstrId id, int operand_index, OperandRef ref);
+
+  /// Check structural sanity: operand ids in range, arities match,
+  /// distances >= 0, distance-0 references acyclic. Throws AssertionError.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Instruction> instrs_;
+};
+
+/// Convenience: a distance-0 reference.
+inline OperandRef ref(InstrId producer) { return OperandRef{producer, 0}; }
+
+/// A loop-carried reference to the value produced `distance` iterations ago.
+inline OperandRef carried(InstrId producer, int distance = 1) {
+  return OperandRef{producer, distance};
+}
+
+}  // namespace monomap
+
+#endif  // MONOMAP_IR_KERNEL_HPP

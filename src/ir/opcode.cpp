@@ -1,0 +1,118 @@
+#include "ir/opcode.hpp"
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+int opcode_arity(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kIndex:
+      return 0;
+    case Opcode::kPhi:
+    case Opcode::kLoad:
+    case Opcode::kAbs:
+    case Opcode::kNeg:
+    case Opcode::kNot:
+      return 1;
+    case Opcode::kStore:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+      return 2;
+    case Opcode::kSelect:
+      return 3;
+  }
+  MONOMAP_ASSERT_MSG(false, "unknown opcode");
+  return 0;
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kIndex: return "index";
+    case Opcode::kPhi: return "phi";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAshr: return "ashr";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kNot: return "not";
+    case Opcode::kCmpEq: return "cmpeq";
+    case Opcode::kCmpNe: return "cmpne";
+    case Opcode::kCmpLt: return "cmplt";
+    case Opcode::kCmpLe: return "cmple";
+    case Opcode::kSelect: return "select";
+  }
+  return "?";
+}
+
+bool opcode_is_memory(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore;
+}
+
+std::int64_t eval_pure(Opcode op, std::int64_t a, std::int64_t b,
+                       std::int64_t c) {
+  using U = std::uint64_t;
+  switch (op) {
+    case Opcode::kAdd: return static_cast<std::int64_t>(static_cast<U>(a) + static_cast<U>(b));
+    case Opcode::kSub: return static_cast<std::int64_t>(static_cast<U>(a) - static_cast<U>(b));
+    case Opcode::kMul: return static_cast<std::int64_t>(static_cast<U>(a) * static_cast<U>(b));
+    case Opcode::kDiv: return b == 0 ? 0 : a / b;
+    case Opcode::kRem: return b == 0 ? 0 : a % b;
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return static_cast<std::int64_t>(static_cast<U>(a) << (static_cast<U>(b) & 63));
+    case Opcode::kShr: return static_cast<std::int64_t>(static_cast<U>(a) >> (static_cast<U>(b) & 63));
+    case Opcode::kAshr: return a >> (static_cast<U>(b) & 63);
+    case Opcode::kMin: return a < b ? a : b;
+    case Opcode::kMax: return a > b ? a : b;
+    case Opcode::kAbs: return a < 0 ? -a : a;
+    case Opcode::kNeg: return -a;
+    case Opcode::kNot: return ~a;
+    case Opcode::kCmpEq: return a == b ? 1 : 0;
+    case Opcode::kCmpNe: return a != b ? 1 : 0;
+    case Opcode::kCmpLt: return a < b ? 1 : 0;
+    case Opcode::kCmpLe: return a <= b ? 1 : 0;
+    case Opcode::kSelect: return a != 0 ? b : c;
+    case Opcode::kPhi: return a;
+    case Opcode::kConst:
+    case Opcode::kIndex:
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      break;
+  }
+  MONOMAP_ASSERT_MSG(false, "eval_pure on non-pure opcode " << opcode_name(op));
+  return 0;
+}
+
+std::string to_string(Opcode op) { return opcode_name(op); }
+
+}  // namespace monomap

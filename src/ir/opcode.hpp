@@ -1,0 +1,62 @@
+// Operation set of the loop-body IR.
+//
+// This models the instruction repertoire of a CGRA PE ALU (paper Fig. 1):
+// integer arithmetic/logic, compares, select, and memory access through the
+// shared data-memory port. All operations have unit latency, matching the
+// paper's architecture model.
+#ifndef MONOMAP_IR_OPCODE_HPP
+#define MONOMAP_IR_OPCODE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace monomap {
+
+enum class Opcode : std::uint8_t {
+  kConst,   // immediate value
+  kIndex,   // current loop iteration index
+  kPhi,     // loop-header phi: identity of its (usually loop-carried) operand
+  kLoad,    // data-memory read:  result = mem[space][op0]
+  kStore,   // data-memory write: mem[space][op0] = op1; result = op1
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,     // op1 == 0 yields 0 (hardware-style saturating definition)
+  kRem,     // op1 == 0 yields 0
+  kAnd,
+  kOr,
+  kXor,
+  kShl,     // shift amount masked to 6 bits
+  kShr,     // logical shift right, amount masked to 6 bits
+  kAshr,    // arithmetic shift right
+  kMin,
+  kMax,
+  kAbs,     // unary
+  kNeg,     // unary
+  kNot,     // unary bitwise complement
+  kCmpEq,   // compares produce 0/1
+  kCmpNe,
+  kCmpLt,   // signed
+  kCmpLe,
+  kSelect,  // op0 != 0 ? op1 : op2
+};
+
+/// Number of operand references the opcode consumes (0..3).
+int opcode_arity(Opcode op);
+
+/// Mnemonic, e.g. "add", "load".
+const char* opcode_name(Opcode op);
+
+/// True for kLoad/kStore.
+bool opcode_is_memory(Opcode op);
+
+/// Apply a pure opcode (everything except load/store/index/const) to
+/// operand values. Precondition: op is pure and arity matches.
+std::int64_t eval_pure(Opcode op, std::int64_t a, std::int64_t b,
+                       std::int64_t c);
+
+std::string to_string(Opcode op);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_IR_OPCODE_HPP

@@ -1,0 +1,103 @@
+#include "mapper/config_gen.hpp"
+
+#include <sstream>
+
+namespace monomap {
+
+const char* to_string(RouteDir dir) {
+  switch (dir) {
+    case RouteDir::kSelf: return "self";
+    case RouteDir::kNorth: return "N";
+    case RouteDir::kSouth: return "S";
+    case RouteDir::kEast: return "E";
+    case RouteDir::kWest: return "W";
+    case RouteDir::kOther: return "?";
+  }
+  return "?";
+}
+
+namespace {
+
+RouteDir direction(const CgraArch& arch, PeId from, PeId to) {
+  if (from == to) return RouteDir::kSelf;
+  const int dr = arch.row_of(to) - arch.row_of(from);
+  const int dc = arch.col_of(to) - arch.col_of(from);
+  if (dr == -1 && dc == 0) return RouteDir::kNorth;
+  if (dr == 1 && dc == 0) return RouteDir::kSouth;
+  if (dr == 0 && dc == 1) return RouteDir::kEast;
+  if (dr == 0 && dc == -1) return RouteDir::kWest;
+  return RouteDir::kOther;  // torus wrap / diagonal links
+}
+
+}  // namespace
+
+ConfigImage::ConfigImage(const LoopKernel& kernel, const Dfg& dfg,
+                         const CgraArch& arch, const Mapping& mapping)
+    : arch_(&arch), ii_(mapping.ii()) {
+  MONOMAP_ASSERT(kernel.size() == dfg.num_nodes());
+  MONOMAP_ASSERT_MSG(mapping_is_valid(dfg, arch, mapping),
+                     "refusing to generate configuration for an invalid mapping");
+  slots_.assign(static_cast<std::size_t>(arch.num_pes()) *
+                    static_cast<std::size_t>(ii_),
+                PeSlotConfig{});
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    const Instruction& in = kernel.instr(v);
+    PeSlotConfig cfg;
+    cfg.active = true;
+    cfg.node = v;
+    cfg.op = in.op;
+    for (const OperandRef& o : in.operands) {
+      OperandRoute route;
+      route.producer = o.producer;
+      route.distance = o.distance;
+      route.dir = direction(arch, mapping.pe(v), mapping.pe(o.producer));
+      cfg.routes.push_back(route);
+    }
+    slots_[static_cast<std::size_t>(mapping.pe(v)) *
+               static_cast<std::size_t>(ii_) +
+           static_cast<std::size_t>(mapping.slot(v))] = std::move(cfg);
+  }
+}
+
+const PeSlotConfig& ConfigImage::at(PeId pe, int slot) const {
+  MONOMAP_ASSERT(arch_->has_pe(pe) && slot >= 0 && slot < ii_);
+  return slots_[static_cast<std::size_t>(pe) * static_cast<std::size_t>(ii_) +
+                static_cast<std::size_t>(slot)];
+}
+
+double ConfigImage::utilization() const {
+  int active = 0;
+  for (const PeSlotConfig& cfg : slots_) {
+    if (cfg.active) ++active;
+  }
+  return slots_.empty() ? 0.0
+                        : static_cast<double>(active) /
+                              static_cast<double>(slots_.size());
+}
+
+std::string ConfigImage::to_string() const {
+  std::ostringstream os;
+  for (PeId pe = 0; pe < arch_->num_pes(); ++pe) {
+    os << "PE" << pe << " (r" << arch_->row_of(pe) << ",c" << arch_->col_of(pe)
+       << "):\n";
+    for (int slot = 0; slot < ii_; ++slot) {
+      const PeSlotConfig& cfg = at(pe, slot);
+      os << "  [" << slot << "] ";
+      if (!cfg.active) {
+        os << "nop\n";
+        continue;
+      }
+      os << opcode_name(cfg.op) << " n" << cfg.node;
+      for (const OperandRoute& r : cfg.routes) {
+        os << ' ' << monomap::to_string(r.dir) << ":r" << r.producer;
+        if (r.distance > 0) {
+          os << "(-" << r.distance << "it)";
+        }
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace monomap

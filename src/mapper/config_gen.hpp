@@ -1,0 +1,63 @@
+// Per-PE configuration ("bitstream") generation.
+//
+// The CGRA's instruction memory holds, for every PE, one micro-op per kernel
+// slot (paper Fig. 1: Instruction Memory feeding the PE array). Given a
+// kernel + mapping, this module emits the textual configuration image:
+// opcode, operand routing (which neighbour's register file each operand is
+// read from, and how many iterations back the value was produced) and the
+// destination register.
+#ifndef MONOMAP_MAPPER_CONFIG_GEN_HPP
+#define MONOMAP_MAPPER_CONFIG_GEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "mapper/mapping.hpp"
+
+namespace monomap {
+
+/// Routing direction from a consumer PE to the producer PE's register file.
+enum class RouteDir { kSelf, kNorth, kSouth, kEast, kWest, kOther };
+
+const char* to_string(RouteDir dir);
+
+/// One operand's routing description.
+struct OperandRoute {
+  NodeId producer = kInvalidNode;
+  RouteDir dir = RouteDir::kSelf;
+  int distance = 0;  // loop-carried distance (iterations back)
+};
+
+/// One configured slot of one PE.
+struct PeSlotConfig {
+  bool active = false;
+  NodeId node = kInvalidNode;
+  Opcode op = Opcode::kConst;
+  std::vector<OperandRoute> routes;
+};
+
+/// The full configuration image: config[pe][slot].
+class ConfigImage {
+ public:
+  ConfigImage(const LoopKernel& kernel, const Dfg& dfg, const CgraArch& arch,
+              const Mapping& mapping);
+
+  [[nodiscard]] int ii() const { return ii_; }
+  [[nodiscard]] const PeSlotConfig& at(PeId pe, int slot) const;
+
+  /// Fraction of (PE, slot) issue slots that hold an operation.
+  [[nodiscard]] double utilization() const;
+
+  /// Human-readable assembly-style listing.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  const CgraArch* arch_;
+  int ii_;
+  std::vector<PeSlotConfig> slots_;  // pe * ii + slot
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_CONFIG_GEN_HPP

@@ -1,0 +1,101 @@
+#include "mapper/decoupled_mapper.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+
+namespace monomap {
+
+MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
+  MapResult result;
+  const Deadline deadline = options_.timeout_s > 0
+                                ? Deadline(options_.timeout_s)
+                                : Deadline::unlimited();
+  TimeSolverOptions time_options = options_.time;
+  if (options_.space.model == MrrgModel::kConsecutiveOnly) {
+    // Restricted interconnect: keep the time search consistent with the
+    // space model, or every schedule with a long slot span would be
+    // rejected in space.
+    time_options.constraints.consecutive_slots = true;
+  }
+  TimeSolver time_solver(dfg, arch, time_options);
+  result.mii = time_solver.mii();
+
+  Stopwatch phase;
+  int failures_at_current_ii = 0;
+  for (;;) {
+    phase.restart();
+    const std::optional<TimeSolution> schedule = time_solver.next(deadline);
+    result.time_phase_s += phase.elapsed_s();
+    if (!schedule.has_value()) {
+      result.timed_out = time_solver.timed_out();
+      result.failure_reason = result.timed_out
+                                  ? "time search hit the deadline"
+                                  : "time search exhausted up to max II";
+      break;
+    }
+    ++result.schedules_tried;
+
+    std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
+    for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+      labels[static_cast<std::size_t>(v)] = schedule->label(v);
+    }
+    phase.restart();
+    // The first schedule at an II gets the full search effort; retries get
+    // a quarter — alternative label vectors rarely change feasibility, so
+    // the budget is better spent escalating the II.
+    SpaceOptions space_options = options_.space;
+    if (failures_at_current_ii > 0 && space_options.max_backtracks != 0) {
+      space_options.max_backtracks =
+          std::max<std::uint64_t>(space_options.max_backtracks / 4, 4096);
+    }
+    const SpaceResult space = find_monomorphism(
+        dfg, arch, labels, schedule->ii, space_options, deadline);
+    result.space_phase_s += phase.elapsed_s();
+    result.last_space = space;
+
+    if (space.found) {
+      result.success = true;
+      result.ii = schedule->ii;
+      result.mapping = Mapping(schedule->ii, schedule->time, space.pe);
+      // The decoupling invariant: every returned mapping is valid.
+      const auto violations =
+          validate_mapping(dfg, arch, result.mapping, options_.space.model);
+      MONOMAP_ASSERT_MSG(violations.empty(),
+                         "mapper produced invalid mapping: "
+                             << violations.front().what);
+      break;
+    }
+    if (space.deadline_expired) {
+      result.timed_out = true;
+      result.failure_reason = "space search hit the deadline";
+      break;
+    }
+    // No monomorphism for this labelling (or the backtrack budget decided
+    // it is hopeless): block it and retry; after repeated failures at the
+    // same II, give the II up — connectivity constraints are necessary but
+    // not sufficient, so some IIs admit schedules yet no placement.
+    ++failures_at_current_ii;
+    MONOMAP_DEBUG("space failed at II=" << schedule->ii << " ("
+                                        << space.failure_reason << "), retry "
+                                        << failures_at_current_ii);
+    if (options_.max_space_retries_per_ii > 0 &&
+        failures_at_current_ii >= options_.max_space_retries_per_ii) {
+      failures_at_current_ii = 0;
+      phase.restart();
+      const bool more = time_solver.skip_to_next_ii();
+      result.time_phase_s += phase.elapsed_s();
+      if (!more) {
+        result.failure_reason = "space search failed for every II up to max";
+        break;
+      }
+      MONOMAP_DEBUG("escalating to II=" << time_solver.current_ii());
+    }
+  }
+  result.time_stats = time_solver.stats();
+  result.total_s = result.time_phase_s + result.space_phase_s;
+  return result;
+}
+
+}  // namespace monomap

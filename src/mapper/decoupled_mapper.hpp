@@ -1,0 +1,65 @@
+// The paper's contribution: space/time-decoupled CGRA mapping (Sec. IV).
+//
+// Pipeline per II (starting at mII):
+//   1. TIME   — SAT search over the KMS with capacity + connectivity
+//               constraints yields a schedule (labels per node).
+//   2. SPACE  — monomorphism search places the labelled DFG into the MRRG.
+//   3. If space fails (rare; Sec. IV-D argues it should not happen under the
+//      constraints), block that label vector and ask for the next schedule.
+//
+// The result records the two phase times separately — Table III's
+// "Time"/"Space" columns.
+#ifndef MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
+#define MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
+
+#include <string>
+
+#include "mapper/mapping.hpp"
+#include "space/monomorphism.hpp"
+#include "timing/time_solver.hpp"
+
+namespace monomap {
+
+struct DecoupledMapperOptions {
+  TimeSolverOptions time;
+  SpaceOptions space;
+  /// Overall wall-clock budget in seconds (paper: 4000 s); <= 0 = unlimited.
+  double timeout_s = 4000.0;
+  /// After this many schedules fail in space at one II, escalate to II+1.
+  /// (The paper's Sec. IV-D argues failures should be rare; when the DFG has
+  /// high-degree hubs the counting argument has gaps, and escalating II is
+  /// what produces the II > mII rows seen in the paper's Table III.)
+  int max_space_retries_per_ii = 8;
+};
+
+struct MapResult {
+  bool success = false;
+  bool timed_out = false;
+  Mapping mapping;
+  int ii = 0;
+  MiiBreakdown mii;
+  double time_phase_s = 0.0;   // Table III "Time" column
+  double space_phase_s = 0.0;  // Table III "Space" column
+  double total_s = 0.0;
+  int schedules_tried = 0;
+  std::string failure_reason;
+  TimeSolverStats time_stats;
+  SpaceResult last_space;
+};
+
+class DecoupledMapper {
+ public:
+  explicit DecoupledMapper(DecoupledMapperOptions options = {})
+      : options_(options) {}
+
+  /// Map `dfg` onto `arch`. The returned mapping (on success) always passes
+  /// validate_mapping — this is asserted internally.
+  MapResult map(const Dfg& dfg, const CgraArch& arch) const;
+
+ private:
+  DecoupledMapperOptions options_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP

@@ -1,0 +1,93 @@
+// Space-time mapping result and its validator.
+//
+// A mapping assigns every DFG node an absolute schedule time T (within the
+// KMS horizon) and a PE. The kernel slot (the paper's label l_G) is T mod II.
+// validate() checks the three monomorphism properties of Sec. IV-A plus
+// dependency timing — every mapping either mapper produces must pass it.
+#ifndef MONOMAP_MAPPER_MAPPING_HPP
+#define MONOMAP_MAPPER_MAPPING_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "arch/mrrg.hpp"
+#include "ir/dfg.hpp"
+
+namespace monomap {
+
+class Mapping {
+ public:
+  Mapping() = default;
+  Mapping(int ii, std::vector<int> time, std::vector<PeId> pe)
+      : ii_(ii), time_(std::move(time)), pe_(std::move(pe)) {
+    MONOMAP_ASSERT(ii_ >= 1);
+    MONOMAP_ASSERT(time_.size() == pe_.size());
+  }
+
+  [[nodiscard]] bool empty() const { return time_.empty(); }
+  [[nodiscard]] int ii() const { return ii_; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(time_.size()); }
+
+  /// Absolute schedule time of node v (position in the unrolled schedule).
+  [[nodiscard]] int time(NodeId v) const {
+    MONOMAP_ASSERT(v >= 0 && v < num_nodes());
+    return time_[static_cast<std::size_t>(v)];
+  }
+
+  /// Kernel slot of node v: the paper's label l_G(v) = T mod II.
+  [[nodiscard]] int slot(NodeId v) const { return time(v) % ii_; }
+
+  /// Iteration fold of node v: T div II (the KMS subscript).
+  [[nodiscard]] int fold(NodeId v) const { return time(v) / ii_; }
+
+  [[nodiscard]] PeId pe(NodeId v) const {
+    MONOMAP_ASSERT(v >= 0 && v < num_nodes());
+    return pe_[static_cast<std::size_t>(v)];
+  }
+
+  /// Latest absolute time used (schedule length - 1).
+  [[nodiscard]] int max_time() const;
+
+  /// Number of pipeline stages = ceil(schedule length / II).
+  [[nodiscard]] int num_stages() const;
+
+ private:
+  int ii_ = 1;
+  std::vector<int> time_;
+  std::vector<PeId> pe_;
+};
+
+/// One validation problem; `what` is human-readable.
+struct MappingViolation {
+  std::string what;
+};
+
+/// Check `mapping` against `dfg` on `arch`:
+///  * mono1 — injectivity on (PE, slot),
+///  * mono2 — every node's PE/slot well-formed (label == T mod II by
+///            construction; PE and T in range),
+///  * mono3 — every DFG edge lands on adjacent-or-same PEs,
+///  * timing — every edge (s,d,dist) satisfies T_d + dist*II >= T_s + 1,
+///  * capacity — at most one node per (PE, slot) implies per-slot usage
+///               <= #PEs (reported redundantly for diagnostics).
+/// Returns all violations (empty == valid). Under
+/// MrrgModel::kConsecutiveOnly additionally requires every edge to span
+/// equal or cyclically-consecutive kernel slots (restricted interconnect).
+std::vector<MappingViolation> validate_mapping(
+    const Dfg& dfg, const CgraArch& arch, const Mapping& mapping,
+    MrrgModel model = MrrgModel::kRegisterPersistence);
+
+/// Convenience: true iff validate_mapping reports nothing.
+bool mapping_is_valid(const Dfg& dfg, const CgraArch& arch,
+                      const Mapping& mapping,
+                      MrrgModel model = MrrgModel::kRegisterPersistence);
+
+/// Render a compact kernel view: one line per slot, listing node@PE, plus a
+/// Fig. 2b-style stage table. For documentation and the examples.
+std::string mapping_to_string(const Dfg& dfg, const CgraArch& arch,
+                              const Mapping& mapping);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_MAPPING_HPP

@@ -1,0 +1,84 @@
+#include "mapper/modulo_expansion.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace monomap {
+
+ModuloExpansion::ModuloExpansion(const Mapping& mapping, int iterations)
+    : ii_(mapping.ii()),
+      stages_(mapping.num_stages()),
+      iterations_(iterations) {
+  MONOMAP_ASSERT_MSG(iterations >= stages_,
+                     "need at least " << stages_
+                                      << " iterations for a steady state");
+  const int total = (iterations_ - 1) * ii_ + mapping.max_time() + 1;
+  rows_.resize(static_cast<std::size_t>(total));
+  for (int iter = 0; iter < iterations_; ++iter) {
+    for (NodeId v = 0; v < mapping.num_nodes(); ++v) {
+      const int cycle = iter * ii_ + mapping.time(v);
+      rows_[static_cast<std::size_t>(cycle)].push_back(
+          ScheduledOp{v, iter, mapping.pe(v)});
+    }
+  }
+  for (auto& row : rows_) {
+    std::sort(row.begin(), row.end(),
+              [](const ScheduledOp& a, const ScheduledOp& b) {
+                return a.pe < b.pe;
+              });
+  }
+}
+
+const std::vector<ScheduledOp>& ModuloExpansion::row(int t) const {
+  MONOMAP_ASSERT(t >= 0 && t < total_cycles());
+  return rows_[static_cast<std::size_t>(t)];
+}
+
+bool ModuloExpansion::steady_state_is_periodic() const {
+  const int start = prologue_cycles();
+  const int end = total_cycles() - epilogue_cycles();
+  for (int t = start; t + ii_ < end; ++t) {
+    const auto& a = rows_[static_cast<std::size_t>(t)];
+    const auto& b = rows_[static_cast<std::size_t>(t + ii_)];
+    if (a.size() != b.size()) return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k].node != b[k].node || a[k].pe != b[k].pe ||
+          a[k].iteration + 1 != b[k].iteration) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string ModuloExpansion::to_string(const Dfg& dfg) const {
+  std::ostringstream os;
+  const int prologue_end = prologue_cycles();
+  const int kernel_end = prologue_end + ii_;
+  os << "modulo schedule: II=" << ii_ << " stages=" << stages_
+     << " iterations=" << iterations_ << '\n';
+  for (int t = 0; t < total_cycles(); ++t) {
+    if (t == 0 && prologue_end > 0) os << "--- prologue ---\n";
+    if (t == prologue_end) os << "--- kernel (repeats) ---\n";
+    if (t == kernel_end) os << "--- epilogue / further rounds ---\n";
+    os << "T=" << t << ":";
+    for (const ScheduledOp& op : rows_[static_cast<std::size_t>(t)]) {
+      os << ' ' << dfg.node_name(op.node) << "[i" << op.iteration << "]@PE"
+         << op.pe;
+    }
+    os << '\n';
+    if (t >= kernel_end && prologue_end > 0 &&
+        t + 1 == kernel_end + ii_) {
+      // Only print one kernel repetition beyond the first; elide the rest.
+      const int remaining = total_cycles() - (t + 1);
+      if (remaining > epilogue_cycles()) {
+        os << "... (" << remaining - epilogue_cycles()
+           << " further kernel cycles elided)\n";
+        t = total_cycles() - epilogue_cycles() - 1;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace monomap

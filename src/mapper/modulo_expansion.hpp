@@ -1,0 +1,62 @@
+// Expansion of a kernel mapping into the full modulo schedule
+// (prologue / kernel / epilogue — paper Fig. 2b).
+//
+// With S = ceil(schedule length / II) pipeline stages and N loop iterations
+// (N >= S), iteration i's node v executes at absolute cycle i*II + T_v.
+// Cycles [0, (S-1)*II) ramp the pipeline up (prologue), the next II cycles
+// repeat as the steady-state kernel, and the final (S-1)*II cycles drain
+// (epilogue).
+#ifndef MONOMAP_MAPPER_MODULO_EXPANSION_HPP
+#define MONOMAP_MAPPER_MODULO_EXPANSION_HPP
+
+#include <string>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace monomap {
+
+/// One op instance in the expanded schedule.
+struct ScheduledOp {
+  NodeId node = kInvalidNode;
+  int iteration = 0;  // which loop iteration this instance belongs to
+  PeId pe = -1;
+};
+
+class ModuloExpansion {
+ public:
+  /// Expand `mapping` for `iterations` loop iterations
+  /// (iterations >= num_stages required so a steady-state kernel exists).
+  ModuloExpansion(const Mapping& mapping, int iterations);
+
+  [[nodiscard]] int ii() const { return ii_; }
+  [[nodiscard]] int stages() const { return stages_; }
+  [[nodiscard]] int iterations() const { return iterations_; }
+  [[nodiscard]] int total_cycles() const {
+    return static_cast<int>(rows_.size());
+  }
+
+  /// Ops issued at absolute cycle `t`.
+  [[nodiscard]] const std::vector<ScheduledOp>& row(int t) const;
+
+  [[nodiscard]] int prologue_cycles() const { return (stages_ - 1) * ii_; }
+  [[nodiscard]] int epilogue_cycles() const { return (stages_ - 1) * ii_; }
+
+  /// True if rows within the steady-state region repeat with period II
+  /// modulo the iteration offset — the defining property of a modulo
+  /// schedule (checked by tests).
+  [[nodiscard]] bool steady_state_is_periodic() const;
+
+  /// Fig. 2b-style rendering with prologue/kernel/epilogue separators.
+  [[nodiscard]] std::string to_string(const Dfg& dfg) const;
+
+ private:
+  int ii_;
+  int stages_;
+  int iterations_;
+  std::vector<std::vector<ScheduledOp>> rows_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_MODULO_EXPANSION_HPP

@@ -1,0 +1,47 @@
+#include "mapper/reg_pressure.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace monomap {
+
+std::string RegPressureReport::to_string() const {
+  std::ostringstream os;
+  os << "register pressure: max/PE=" << max_per_pe << " total=" << total
+     << " per-PE=[";
+  for (std::size_t p = 0; p < per_pe.size(); ++p) {
+    if (p != 0) os << ' ';
+    os << per_pe[p];
+  }
+  os << ']';
+  return os.str();
+}
+
+RegPressureReport analyze_register_pressure(const Dfg& dfg,
+                                            const CgraArch& arch,
+                                            const Mapping& mapping) {
+  MONOMAP_ASSERT(mapping.num_nodes() == dfg.num_nodes());
+  RegPressureReport report;
+  report.per_pe.assign(static_cast<std::size_t>(arch.num_pes()), 0);
+  const int ii = mapping.ii();
+  const Graph& g = dfg.graph();
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    int last_use = mapping.time(v);  // no consumer: live for 0 extra cycles
+    for (const EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const int consume_at = mapping.time(edge.dst) + edge.attr * ii;
+      last_use = std::max(last_use, consume_at);
+    }
+    const int lifetime = last_use - mapping.time(v);
+    const int regs = 1 + (lifetime > 0 ? (lifetime - 1) / ii : 0);
+    report.per_pe[static_cast<std::size_t>(mapping.pe(v))] += regs;
+    report.total += regs;
+  }
+  report.max_per_pe =
+      report.per_pe.empty()
+          ? 0
+          : *std::max_element(report.per_pe.begin(), report.per_pe.end());
+  return report;
+}
+
+}  // namespace monomap

@@ -1,0 +1,40 @@
+// Register-file pressure analysis (extension; DESIGN.md S14).
+//
+// The paper assumes register files large enough to hold every live value
+// (its Sec. V limitation). This analysis quantifies that assumption: a value
+// produced by node v at time T_v and last consumed at T_c (+ dist*II for
+// loop-carried uses) stays live for L = T_c - T_v cycles, requiring
+// ceil(L / II) simultaneously-live copies across overlapped iterations
+// (modulo variable expansion). Summing over the nodes placed on one PE gives
+// that PE's register-file requirement.
+#ifndef MONOMAP_MAPPER_REG_PRESSURE_HPP
+#define MONOMAP_MAPPER_REG_PRESSURE_HPP
+
+#include <string>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace monomap {
+
+struct RegPressureReport {
+  /// Registers required per PE.
+  std::vector<int> per_pe;
+  /// Maximum over PEs — the minimum register-file size that supports the
+  /// mapping under the paper's architecture.
+  int max_per_pe = 0;
+  /// Total live registers across the array.
+  int total = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compute register pressure of `mapping` for `dfg` on `arch`. Nodes with no
+/// consumers still occupy one register (their slot's write target).
+RegPressureReport analyze_register_pressure(const Dfg& dfg,
+                                            const CgraArch& arch,
+                                            const Mapping& mapping);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_REG_PRESSURE_HPP

@@ -1,0 +1,58 @@
+// Routing-node insertion for restricted interconnects (extension).
+//
+// The paper's architecture lets any PE read a neighbour's register file at
+// any later kernel cycle, which is what makes space/time decoupling clean
+// (Sec. V limitations). On a conventional CGRA without that persistence,
+// values must be moved through explicit routing (pass-through) operations —
+// the approach of EPIMap [13] and Zhao et al. [24], which the paper notes
+// "leads to increased II". This module implements that transform so the
+// decoupled mapper also covers the restricted architecture:
+//
+//   every intra-iteration dependence whose ASAP span exceeds one step is
+//   split into a chain of unit-latency route (identity) nodes; the mapper
+//   then runs with MrrgModel::kConsecutiveOnly.
+//
+// The measured II inflation vs the persistence architecture quantifies the
+// benefit of the paper's architectural assumption (ablation in
+// bench_ablation_constraints).
+#ifndef MONOMAP_MAPPER_ROUTING_TRANSFORM_HPP
+#define MONOMAP_MAPPER_ROUTING_TRANSFORM_HPP
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "mapper/decoupled_mapper.hpp"
+
+namespace monomap {
+
+/// A DFG augmented with route nodes.
+struct RoutedDfg {
+  Dfg dfg;
+  /// Number of original nodes; nodes >= this are route nodes.
+  int original_nodes = 0;
+  /// For each route node (index - original_nodes), the original edge's
+  /// (source, destination) pair it helps route.
+  std::vector<std::pair<NodeId, NodeId>> routes;
+
+  [[nodiscard]] int num_route_nodes() const {
+    return static_cast<int>(routes.size());
+  }
+};
+
+/// Split every distance-0 edge whose ASAP span exceeds `max_span` steps into
+/// a chain of route nodes so each link can be scheduled on consecutive
+/// kernel slots. Loop-carried edges are left untouched (they close tight
+/// recurrence cycles; splitting them would inflate RecII).
+RoutedDfg insert_route_nodes(const Dfg& dfg, int max_span = 1);
+
+/// Map `dfg` onto a restricted-interconnect CGRA: first as-is, then (if the
+/// time search proves the unrouted DFG infeasible) with route nodes
+/// inserted. The returned MapResult refers to the routed DFG returned in
+/// *routed (route placements are genuine PE/slot assignments executing
+/// pass-through ops).
+MapResult map_with_routing(const Dfg& dfg, const CgraArch& arch,
+                           DecoupledMapperOptions options, RoutedDfg* routed);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_MAPPER_ROUTING_TRANSFORM_HPP

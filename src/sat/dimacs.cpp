@@ -1,0 +1,83 @@
+#include "sat/dimacs.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+CnfFormula parse_dimacs(const std::string& text) {
+  CnfFormula formula;
+  std::istringstream in(text);
+  std::string token;
+  std::vector<int> current;
+  int max_var = 0;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      int declared_vars = 0;
+      std::size_t declared_clauses = 0;
+      in >> fmt >> declared_vars >> declared_clauses;
+      MONOMAP_ASSERT_MSG(fmt == "cnf", "unsupported DIMACS format " << fmt);
+      formula.num_vars = declared_vars;
+      continue;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    MONOMAP_ASSERT_MSG(end != nullptr && *end == '\0',
+                       "bad DIMACS token '" << token << "'");
+    if (value == 0) {
+      formula.clauses.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(static_cast<int>(value));
+      const int v = value > 0 ? static_cast<int>(value)
+                              : static_cast<int>(-value);
+      if (v > max_var) max_var = v;
+    }
+  }
+  MONOMAP_ASSERT_MSG(current.empty(), "DIMACS clause missing terminating 0");
+  if (max_var > formula.num_vars) {
+    formula.num_vars = max_var;
+  }
+  return formula;
+}
+
+std::string to_dimacs(const CnfFormula& formula) {
+  std::ostringstream os;
+  os << "p cnf " << formula.num_vars << ' ' << formula.clauses.size() << '\n';
+  for (const auto& clause : formula.clauses) {
+    for (const int lit : clause) {
+      os << lit << ' ';
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+bool load_into_solver(const CnfFormula& formula, SatSolver& solver) {
+  while (solver.num_vars() < formula.num_vars) {
+    solver.new_var();
+  }
+  for (const auto& clause : formula.clauses) {
+    std::vector<Lit> lits;
+    lits.reserve(clause.size());
+    for (const int l : clause) {
+      MONOMAP_ASSERT(l != 0);
+      const SatVar v = (l > 0 ? l : -l) - 1;
+      lits.push_back(Lit(v, l < 0));
+    }
+    if (!solver.add_clause(std::move(lits))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace monomap

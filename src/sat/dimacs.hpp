@@ -1,0 +1,32 @@
+// DIMACS CNF parsing/serialisation — debugging aid and test vector format.
+#ifndef MONOMAP_SAT_DIMACS_HPP
+#define MONOMAP_SAT_DIMACS_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace monomap {
+
+/// A CNF formula in portable form: clauses of signed 1-based literals.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// Parse DIMACS text ("p cnf ..." header optional; comments allowed).
+/// Throws AssertionError on malformed input.
+CnfFormula parse_dimacs(const std::string& text);
+
+/// Serialise to DIMACS text.
+std::string to_dimacs(const CnfFormula& formula);
+
+/// Load a formula into `solver`, creating variables 0..num_vars-1.
+/// Returns false if the formula is trivially unsatisfiable.
+bool load_into_solver(const CnfFormula& formula, SatSolver& solver);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SAT_DIMACS_HPP

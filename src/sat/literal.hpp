@@ -1,0 +1,72 @@
+// Boolean variables and literals for the CDCL solver.
+//
+// Variables are dense 0-based integers; a literal packs (variable, sign)
+// into one integer (MiniSat convention: lit = 2*var + sign, sign 1 = negated)
+// so literals index arrays directly.
+#ifndef MONOMAP_SAT_LITERAL_HPP
+#define MONOMAP_SAT_LITERAL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+using SatVar = std::int32_t;
+
+class Lit {
+ public:
+  Lit() = default;
+
+  Lit(SatVar var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {
+    MONOMAP_ASSERT(var >= 0);
+  }
+
+  /// Positive literal of `var`.
+  static Lit pos(SatVar var) { return Lit(var, false); }
+  /// Negative literal of `var`.
+  static Lit neg(SatVar var) { return Lit(var, true); }
+  /// From the packed integer code.
+  static Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] SatVar var() const { return code_ >> 1; }
+  [[nodiscard]] bool negated() const { return (code_ & 1) != 0; }
+  [[nodiscard]] std::int32_t code() const { return code_; }
+  [[nodiscard]] Lit operator~() const { return from_code(code_ ^ 1); }
+
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+ private:
+  std::int32_t code_ = -2;  // invalid
+};
+
+inline constexpr std::int32_t kLitUndefCode = -2;
+
+/// Three-valued assignment.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+
+inline LBool negate(LBool v) {
+  switch (v) {
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kTrue: return LBool::kFalse;
+    case LBool::kUndef: return LBool::kUndef;
+  }
+  return LBool::kUndef;
+}
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SAT_LITERAL_HPP

@@ -1,0 +1,79 @@
+// Conflict-driven clause-learning SAT solver.
+//
+// This is the search engine behind both the decoupled time formulation and
+// the coupled SAT-MapIt-style baseline (DESIGN.md S7; substitution for Z3).
+// Feature set: two-watched-literal propagation, 1-UIP clause learning with
+// recursive minimisation, VSIDS decision heuristic with phase saving, Luby
+// restarts, LBD-based learned-clause reduction, incremental clause addition
+// between solve() calls, and wall-clock/conflict budgets.
+#ifndef MONOMAP_SAT_SOLVER_HPP
+#define MONOMAP_SAT_SOLVER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/literal.hpp"
+#include "support/stopwatch.hpp"
+
+namespace monomap {
+
+enum class SatStatus { kSat, kUnsat, kUnknown };
+
+const char* to_string(SatStatus status);
+
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+class SatSolver {
+ public:
+  SatSolver();
+  ~SatSolver();
+  SatSolver(const SatSolver&) = delete;
+  SatSolver& operator=(const SatSolver&) = delete;
+
+  /// Create a fresh variable; returns its index.
+  SatVar new_var();
+
+  [[nodiscard]] int num_vars() const;
+  [[nodiscard]] int num_clauses() const;
+
+  /// Add a clause (disjunction of literals). Returns false if the formula
+  /// became trivially unsatisfiable (empty clause / conflicting units).
+  /// May be called before or between solve() invocations (incremental use:
+  /// the mapper adds blocking clauses and re-solves).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Convenience overloads.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solve under an optional wall-clock deadline and conflict budget
+  /// (0 = unlimited conflicts).
+  SatStatus solve(const Deadline& deadline = Deadline::unlimited(),
+                  std::uint64_t conflict_budget = 0);
+
+  /// Value of `v` in the model found by the last solve() (kSat only).
+  [[nodiscard]] bool model_value(SatVar v) const;
+  [[nodiscard]] bool model_value(Lit l) const {
+    return model_value(l.var()) != l.negated();
+  }
+
+  [[nodiscard]] const SatStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SAT_SOLVER_HPP

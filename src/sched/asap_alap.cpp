@@ -1,0 +1,55 @@
+#include "sched/asap_alap.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace monomap {
+
+int critical_path_length(const Dfg& dfg) {
+  if (dfg.num_nodes() == 0) return 0;
+  const auto depth =
+      longest_path_from_sources(dfg.graph(), edges_with_attr(0));
+  return 1 + *std::max_element(depth.begin(), depth.end());
+}
+
+std::vector<ScheduleRange> compute_asap_alap(const Dfg& dfg, int horizon) {
+  const Graph& g = dfg.graph();
+  const int n = g.num_nodes();
+  const int cp = critical_path_length(dfg);
+  if (horizon <= 0) {
+    horizon = cp;
+  }
+  MONOMAP_ASSERT_MSG(horizon >= cp, "horizon " << horizon
+                                               << " below critical path "
+                                               << cp);
+  // ASAP: longest distance-0 path from any source.
+  const auto asap = longest_path_from_sources(g, edges_with_attr(0));
+
+  // ALAP: horizon-1 minus the longest distance-0 path to any sink. Computed
+  // by relaxing in reverse topological order.
+  const auto order = topological_sort(g, edges_with_attr(0));
+  MONOMAP_ASSERT(order.has_value());
+  std::vector<int> tail(static_cast<std::size_t>(n), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    for (const EdgeId e : g.out_edges(v)) {
+      if (g.edge(e).attr != 0) continue;
+      const NodeId d = g.edge(e).dst;
+      tail[static_cast<std::size_t>(v)] =
+          std::max(tail[static_cast<std::size_t>(v)],
+                   tail[static_cast<std::size_t>(d)] + 1);
+    }
+  }
+  std::vector<ScheduleRange> ranges(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    ranges[static_cast<std::size_t>(v)].asap = asap[static_cast<std::size_t>(v)];
+    ranges[static_cast<std::size_t>(v)].alap =
+        horizon - 1 - tail[static_cast<std::size_t>(v)];
+    MONOMAP_ASSERT(ranges[static_cast<std::size_t>(v)].asap <=
+                   ranges[static_cast<std::size_t>(v)].alap);
+  }
+  return ranges;
+}
+
+}  // namespace monomap

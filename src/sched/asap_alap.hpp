@@ -1,0 +1,36 @@
+// ASAP/ALAP scheduling ranges (paper Sec. IV-B, Table I).
+//
+// Computed over the distance-0 (intra-iteration) dependence DAG, as is
+// standard in modulo scheduling: loop-carried edges constrain the II (via
+// RecII), not the per-iteration mobility window.
+#ifndef MONOMAP_SCHED_ASAP_ALAP_HPP
+#define MONOMAP_SCHED_ASAP_ALAP_HPP
+
+#include <vector>
+
+#include "ir/dfg.hpp"
+
+namespace monomap {
+
+/// Inclusive window of feasible schedule steps for one node.
+struct ScheduleRange {
+  int asap = 0;
+  int alap = 0;
+
+  [[nodiscard]] int width() const { return alap - asap + 1; }
+  [[nodiscard]] bool contains(int t) const { return t >= asap && t <= alap; }
+};
+
+/// Per-node ASAP/ALAP windows for a schedule horizon of `horizon` steps
+/// (steps 0 .. horizon-1). `horizon` must be at least the critical-path
+/// length; pass horizon <= 0 to use exactly the critical-path length —
+/// the paper's MobS. Larger horizons add slack ("schedule extension").
+std::vector<ScheduleRange> compute_asap_alap(const Dfg& dfg, int horizon = 0);
+
+/// Critical-path length in steps of the distance-0 DAG (the paper's
+/// "MobS length": 6 for the running example).
+int critical_path_length(const Dfg& dfg);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SCHED_ASAP_ALAP_HPP

@@ -1,0 +1,49 @@
+#include "sched/kms.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace monomap {
+
+Kms::Kms(const MobilitySchedule& mobs, int ii)
+    : ii_(ii),
+      interleave_((mobs.length() + ii - 1) / ii),
+      ranges_(mobs.ranges()),
+      rows_(static_cast<std::size_t>(ii)) {
+  MONOMAP_ASSERT_MSG(ii >= 1, "KMS needs II >= 1");
+  for (NodeId v = 0; v < static_cast<NodeId>(ranges_.size()); ++v) {
+    const ScheduleRange& r = ranges_[static_cast<std::size_t>(v)];
+    for (int t = r.asap; t <= r.alap; ++t) {
+      rows_[static_cast<std::size_t>(t % ii_)].push_back(
+          KmsEntry{v, t / ii_, t});
+    }
+  }
+}
+
+std::vector<int> Kms::candidate_times(NodeId v) const {
+  MONOMAP_ASSERT(v >= 0 && v < static_cast<NodeId>(ranges_.size()));
+  const ScheduleRange& r = ranges_[static_cast<std::size_t>(v)];
+  std::vector<int> times;
+  times.reserve(static_cast<std::size_t>(r.width()));
+  for (int t = r.asap; t <= r.alap; ++t) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::string Kms::to_table() const {
+  AsciiTable table({"Time", "Nodes"}, {Align::kRight, Align::kLeft});
+  for (int slot = 0; slot < ii_; ++slot) {
+    std::ostringstream os;
+    const auto& entries = rows_[static_cast<std::size_t>(slot)];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << entries[i].node << '_' << entries[i].fold;
+    }
+    table.add_row({std::to_string(slot), os.str()});
+  }
+  return table.to_string();
+}
+
+}  // namespace monomap

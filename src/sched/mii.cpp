@@ -1,0 +1,25 @@
+#include "sched/mii.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace monomap {
+
+int resource_mii(const Dfg& dfg, const CgraArch& arch) {
+  const int pes = arch.num_pes();
+  MONOMAP_ASSERT(pes > 0);
+  const int n = dfg.num_nodes();
+  return n == 0 ? 1 : (n + pes - 1) / pes;
+}
+
+int recurrence_mii_of(const Dfg& dfg) {
+  return recurrence_mii(dfg.graph());
+}
+
+MiiBreakdown compute_mii(const Dfg& dfg, const CgraArch& arch) {
+  MiiBreakdown b;
+  b.res_ii = resource_mii(dfg, arch);
+  b.rec_ii = recurrence_mii_of(dfg);
+  return b;
+}
+
+}  // namespace monomap

@@ -1,0 +1,32 @@
+// Minimum iteration interval (paper Sec. IV-B; Rau's mII).
+//
+//   mII = max(ResII, RecII)
+//   ResII = ceil(|V_G| / #PEs)         — resource bound
+//   RecII = max over cycles ceil(len/dist) — recurrence bound
+#ifndef MONOMAP_SCHED_MII_HPP
+#define MONOMAP_SCHED_MII_HPP
+
+#include "arch/cgra.hpp"
+#include "ir/dfg.hpp"
+
+namespace monomap {
+
+struct MiiBreakdown {
+  int res_ii = 1;
+  int rec_ii = 1;
+  [[nodiscard]] int mii() const { return res_ii > rec_ii ? res_ii : rec_ii; }
+};
+
+/// Resource-minimum II for `dfg` on `arch`.
+int resource_mii(const Dfg& dfg, const CgraArch& arch);
+
+/// Recurrence-minimum II of `dfg` (1 if acyclic). Exposed from
+/// graph/algorithms; this overload exists for API symmetry.
+int recurrence_mii_of(const Dfg& dfg);
+
+/// Both bounds at once.
+MiiBreakdown compute_mii(const Dfg& dfg, const CgraArch& arch);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SCHED_MII_HPP

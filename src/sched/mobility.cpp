@@ -1,0 +1,47 @@
+#include "sched/mobility.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace monomap {
+
+MobilitySchedule::MobilitySchedule(const Dfg& dfg, int horizon)
+    : length_(horizon > 0 ? horizon : critical_path_length(dfg)),
+      ranges_(compute_asap_alap(dfg, horizon)) {}
+
+std::vector<NodeId> MobilitySchedule::nodes_at(int t) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < static_cast<NodeId>(ranges_.size()); ++v) {
+    if (ranges_[static_cast<std::size_t>(v)].contains(t)) {
+      nodes.push_back(v);
+    }
+  }
+  return nodes;
+}
+
+std::string MobilitySchedule::to_table() const {
+  AsciiTable table({"Time", "ASAP", "ALAP", "MobS"},
+                   {Align::kRight, Align::kLeft, Align::kLeft, Align::kLeft});
+  auto join = [](const std::vector<NodeId>& nodes) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << nodes[i];
+    }
+    return os.str();
+  };
+  for (int t = 0; t < length_; ++t) {
+    std::vector<NodeId> asap_nodes;
+    std::vector<NodeId> alap_nodes;
+    for (NodeId v = 0; v < static_cast<NodeId>(ranges_.size()); ++v) {
+      if (ranges_[static_cast<std::size_t>(v)].asap == t) asap_nodes.push_back(v);
+      if (ranges_[static_cast<std::size_t>(v)].alap == t) alap_nodes.push_back(v);
+    }
+    table.add_row({std::to_string(t), join(asap_nodes), join(alap_nodes),
+                   join(nodes_at(t))});
+  }
+  return table.to_string();
+}
+
+}  // namespace monomap

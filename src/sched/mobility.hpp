@@ -1,0 +1,43 @@
+// Mobility Schedule (MobS) — paper Sec. IV-B, Table I.
+//
+// The MobS lists, for every schedule step, the nodes whose [ASAP, ALAP]
+// window contains that step. It is the base structure folded into the KMS.
+#ifndef MONOMAP_SCHED_MOBILITY_HPP
+#define MONOMAP_SCHED_MOBILITY_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "sched/asap_alap.hpp"
+
+namespace monomap {
+
+class MobilitySchedule {
+ public:
+  /// Build the MobS of `dfg` with the given horizon (0 = critical path).
+  MobilitySchedule(const Dfg& dfg, int horizon = 0);
+
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] const std::vector<ScheduleRange>& ranges() const {
+    return ranges_;
+  }
+  [[nodiscard]] const ScheduleRange& range(NodeId v) const {
+    MONOMAP_ASSERT(v >= 0 && v < static_cast<NodeId>(ranges_.size()));
+    return ranges_[static_cast<std::size_t>(v)];
+  }
+
+  /// Nodes whose window contains step t (a row of the paper's Table I MobS).
+  [[nodiscard]] std::vector<NodeId> nodes_at(int t) const;
+
+  /// Render the three-column ASAP/ALAP/MobS table (paper Table I).
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  int length_;
+  std::vector<ScheduleRange> ranges_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SCHED_MOBILITY_HPP

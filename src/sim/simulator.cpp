@@ -1,0 +1,204 @@
+#include "sim/simulator.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mapper/reg_pressure.hpp"
+
+namespace monomap {
+
+namespace {
+
+std::string at(NodeId v, int iter, int cycle) {
+  std::ostringstream os;
+  os << "node " << v << " iter " << iter << " cycle " << cycle;
+  return os.str();
+}
+
+}  // namespace
+
+SimResult simulate(const LoopKernel& kernel, const Dfg& dfg,
+                   const CgraArch& arch, const Mapping& mapping,
+                   const SimOptions& options) {
+  MONOMAP_ASSERT(kernel.size() == dfg.num_nodes());
+  SimResult result;
+  result.memory = DataMemory(options.memory_salt);
+  const int n = dfg.num_nodes();
+  const int ii = mapping.ii();
+  const int iters = options.iterations;
+  MONOMAP_ASSERT_MSG(iters >= mapping.num_stages(),
+                     "need >= " << mapping.num_stages()
+                                << " iterations for a steady state");
+
+  // Rotating-register depth per producer (modulo variable expansion).
+  const RegPressureReport pressure =
+      analyze_register_pressure(dfg, arch, mapping);
+  if (options.rf_size > 0 && pressure.max_per_pe > options.rf_size) {
+    result.errors.push_back(
+        "register pressure " + std::to_string(pressure.max_per_pe) +
+        " exceeds RF size " + std::to_string(options.rf_size));
+  }
+  std::vector<int> reg_depth(static_cast<std::size_t>(n), 1);
+  const Graph& g = dfg.graph();
+  for (NodeId v = 0; v < n; ++v) {
+    int last_use = mapping.time(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      last_use = std::max(last_use, mapping.time(edge.dst) + edge.attr * ii);
+    }
+    const int lifetime = last_use - mapping.time(v);
+    reg_depth[static_cast<std::size_t>(v)] =
+        1 + (lifetime > 0 ? (lifetime - 1) / ii : 0);
+  }
+
+  result.values.assign(static_cast<std::size_t>(iters),
+                       std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  // latest_iter[v] = most recent iteration v has produced (for liveness).
+  std::vector<int> latest_iter(static_cast<std::size_t>(n), -1);
+
+  auto fetch = [&](NodeId consumer, const OperandRef& o, int iter, int cycle,
+                   std::int64_t& out) {
+    const int src_iter = iter - o.distance;
+    if (src_iter < 0) {
+      out = kernel.instr(o.producer).init;
+      return;
+    }
+    // Spatial check: the producer's RF must be readable from the consumer.
+    if (!arch.adjacent_or_same(mapping.pe(consumer), mapping.pe(o.producer))) {
+      result.errors.push_back("non-adjacent fetch by " +
+                              at(consumer, iter, cycle) + " from PE" +
+                              std::to_string(mapping.pe(o.producer)));
+      out = 0;
+      return;
+    }
+    // Temporal check: the value must already have been produced...
+    const int produced_at = src_iter * ii + mapping.time(o.producer);
+    if (produced_at >= cycle) {
+      result.errors.push_back("read-before-write by " +
+                              at(consumer, iter, cycle) + " of value produced at cycle " +
+                              std::to_string(produced_at));
+      out = 0;
+      return;
+    }
+    // ...and still live in the producer's rotating registers.
+    const int depth = reg_depth[static_cast<std::size_t>(o.producer)];
+    if (latest_iter[static_cast<std::size_t>(o.producer)] - src_iter >=
+        depth) {
+      result.errors.push_back("overwritten value read by " +
+                              at(consumer, iter, cycle) + " (rotating depth " +
+                              std::to_string(depth) + ")");
+      out = 0;
+      return;
+    }
+    out = result.values[static_cast<std::size_t>(src_iter)]
+                       [static_cast<std::size_t>(o.producer)];
+  };
+
+  const int total_cycles = (iters - 1) * ii + mapping.max_time() + 1;
+  result.cycles = total_cycles;
+  struct PendingStore {
+    int space;
+    std::int64_t addr;
+    std::int64_t value;
+  };
+  for (int cycle = 0; cycle < total_cycles; ++cycle) {
+    std::vector<PendingStore> stores;
+    // Register writes commit at the end of the cycle: liveness bookkeeping
+    // is deferred so same-cycle readers still see the previous value.
+    std::vector<std::pair<NodeId, int>> produced;
+    std::set<std::pair<int, std::int64_t>> touched;
+    // All ops issuing this cycle: iteration i = (cycle - T_v) / II.
+    for (NodeId v = 0; v < n; ++v) {
+      const int offset = cycle - mapping.time(v);
+      if (offset < 0 || offset % ii != 0) continue;
+      const int iter = offset / ii;
+      if (iter >= iters) continue;
+      const Instruction& in = kernel.instr(v);
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      std::int64_t c = 0;
+      if (!in.operands.empty()) fetch(v, in.operands[0], iter, cycle, a);
+      if (in.operands.size() > 1) fetch(v, in.operands[1], iter, cycle, b);
+      if (in.operands.size() > 2) fetch(v, in.operands[2], iter, cycle, c);
+      if (in.rhs_is_imm) b = in.imm;
+      std::int64_t value = 0;
+      switch (in.op) {
+        case Opcode::kConst:
+          value = in.imm;
+          break;
+        case Opcode::kIndex:
+          value = iter;
+          break;
+        case Opcode::kLoad: {
+          const auto key = std::make_pair(static_cast<int>(in.imm), a);
+          if (touched.count(key) != 0) {
+            result.hazards.push_back("same-cycle load/store overlap at " +
+                                     at(v, iter, cycle));
+          }
+          value = result.memory.read(key.first, key.second);
+          break;
+        }
+        case Opcode::kStore: {
+          const auto key = std::make_pair(static_cast<int>(in.imm), a);
+          if (!touched.insert(key).second) {
+            result.hazards.push_back("same-cycle store conflict at " +
+                                     at(v, iter, cycle));
+          }
+          value = b;
+          stores.push_back(PendingStore{key.first, key.second, value});
+          break;
+        }
+        default:
+          value = eval_pure(in.op, a, b, c);
+          break;
+      }
+      result.values[static_cast<std::size_t>(iter)]
+                   [static_cast<std::size_t>(v)] = value;
+      produced.emplace_back(v, iter);
+    }
+    for (const auto& [v, iter] : produced) {
+      latest_iter[static_cast<std::size_t>(v)] =
+          std::max(latest_iter[static_cast<std::size_t>(v)], iter);
+    }
+    for (const PendingStore& st : stores) {
+      result.memory.write(st.space, st.addr, st.value);
+    }
+  }
+  result.ok = result.errors.empty() && result.hazards.empty();
+  return result;
+}
+
+std::vector<std::string> verify_mapping_by_simulation(
+    const LoopKernel& kernel, const Dfg& dfg, const CgraArch& arch,
+    const Mapping& mapping, const SimOptions& options) {
+  std::vector<std::string> problems;
+  const SimResult sim = simulate(kernel, dfg, arch, mapping, options);
+  problems.insert(problems.end(), sim.errors.begin(), sim.errors.end());
+  problems.insert(problems.end(), sim.hazards.begin(), sim.hazards.end());
+
+  const ExecutionTrace oracle =
+      interpret(kernel, options.iterations, DataMemory(options.memory_salt));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+      const std::int64_t got =
+          sim.values[static_cast<std::size_t>(iter)][static_cast<std::size_t>(v)];
+      const std::int64_t want =
+          oracle.values[static_cast<std::size_t>(iter)]
+                       [static_cast<std::size_t>(v)];
+      if (got != want) {
+        std::ostringstream os;
+        os << "value mismatch: node " << v << " ('" << dfg.node_name(v)
+           << "') iter " << iter << ": mapped=" << got
+           << " sequential=" << want;
+        problems.push_back(os.str());
+      }
+    }
+  }
+  if (!(sim.memory == oracle.memory)) {
+    problems.push_back("final data-memory images differ");
+  }
+  return problems;
+}
+
+}  // namespace monomap

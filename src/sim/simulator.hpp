@@ -1,0 +1,65 @@
+// Functional CGRA simulator (DESIGN.md S15).
+//
+// Replays a mapped kernel cycle by cycle, the way the configured array would
+// execute it: iteration i's node v issues at absolute cycle i*II + T_v on
+// PE(v); operands are fetched from the producing PE's register file, which
+// must be the consumer's own or a neighbouring PE (checked dynamically —
+// defence in depth on top of the static validator). Register files rotate:
+// value (u, iteration j) is overwritten once u has produced its value for
+// iteration j + regs(u), where regs(u) is the modulo-variable-expansion
+// count from the register-pressure analysis.
+//
+// Memory semantics per cycle: all loads read the state left by cycles < t,
+// all stores commit at the end of t; a load and store (or two stores)
+// touching the same cell in the same cycle is recorded as a hazard. The
+// workload kernels are hazard-free by construction (disjoint input/output
+// spaces, unique store addresses per iteration).
+//
+// The CgraSimulator's result is compared bit-for-bit against the sequential
+// interpreter — the oracle check used by the integration tests.
+#ifndef MONOMAP_SIM_SIMULATOR_HPP
+#define MONOMAP_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/interpreter.hpp"
+#include "mapper/mapping.hpp"
+
+namespace monomap {
+
+struct SimOptions {
+  /// Loop iterations to execute (must allow a steady state: >= stages).
+  int iterations = 8;
+  /// Register-file capacity per PE; 0 = check against the analysis only.
+  int rf_size = 0;
+  /// Memory salt (must match the interpreter run used as oracle).
+  std::uint64_t memory_salt = 0;
+};
+
+struct SimResult {
+  bool ok = false;
+  int cycles = 0;
+  std::vector<std::string> errors;   // adjacency/ordering/liveness violations
+  std::vector<std::string> hazards;  // same-cycle memory conflicts
+  /// values[i][v] = value produced by node v in iteration i.
+  std::vector<std::vector<std::int64_t>> values;
+  DataMemory memory;
+};
+
+/// Execute `mapping` of `kernel` on `arch`.
+SimResult simulate(const LoopKernel& kernel, const Dfg& dfg,
+                   const CgraArch& arch, const Mapping& mapping,
+                   const SimOptions& options = SimOptions{});
+
+/// Run both the simulator and the sequential interpreter and compare all
+/// produced values and the final memory image. Returns a list of
+/// discrepancies (empty == the mapping computes exactly the loop's results).
+std::vector<std::string> verify_mapping_by_simulation(
+    const LoopKernel& kernel, const Dfg& dfg, const CgraArch& arch,
+    const Mapping& mapping, const SimOptions& options = SimOptions{});
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SIM_SIMULATOR_HPP

@@ -1,0 +1,439 @@
+#include "space/monomorphism.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+const char* to_string(SpaceOrder order) {
+  switch (order) {
+    case SpaceOrder::kDynamicMrv: return "dynamic-mrv";
+    case SpaceOrder::kConnectivity: return "connectivity";
+    case SpaceOrder::kDegree: return "degree";
+    case SpaceOrder::kBfs: return "bfs";
+  }
+  return "?";
+}
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const Dfg& dfg, const CgraArch& arch,
+           const std::vector<int>& labels, int ii,
+           const SpaceOptions& options, const Deadline& deadline)
+      : dfg_(dfg),
+        arch_(arch),
+        labels_(labels),
+        ii_(ii),
+        options_(options),
+        deadline_(deadline),
+        neighbors_(static_cast<std::size_t>(dfg.num_nodes())),
+        assignment_(static_cast<std::size_t>(dfg.num_nodes()), -1),
+        used_(static_cast<std::size_t>(arch.num_pes()) *
+                  static_cast<std::size_t>(ii),
+              false) {
+    for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+      neighbors_[static_cast<std::size_t>(v)] =
+          dfg_.graph().undirected_neighbors(v);
+    }
+  }
+
+  SpaceResult run() {
+    SpaceResult result;
+    Stopwatch watch;
+    if (!check_labels(result)) {
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
+    if (options_.model == MrrgModel::kConsecutiveOnly &&
+        !check_slot_adjacency(result)) {
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
+    const bool found = options_.order == SpaceOrder::kDynamicMrv
+                           ? (prepare_dynamic(), search_dynamic(0, result))
+                           : (build_order(), search(0, result));
+    result.found = found;
+    if (found) {
+      result.pe = assignment_;
+    } else if (result.failure_reason.empty()) {
+      result.failure_reason =
+          result.timed_out ? "search budget exhausted" : "search space exhausted";
+    }
+    result.seconds = watch.elapsed_s();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool slot_used(PeId pe, int slot) const {
+    return used_[static_cast<std::size_t>(slot) *
+                     static_cast<std::size_t>(arch_.num_pes()) +
+                 static_cast<std::size_t>(pe)];
+  }
+  void set_slot(PeId pe, int slot, bool value) {
+    used_[static_cast<std::size_t>(slot) *
+              static_cast<std::size_t>(arch_.num_pes()) +
+          static_cast<std::size_t>(pe)] = value;
+  }
+
+  bool check_labels(SpaceResult& result) const {
+    // Capacity per label layer must hold or no injective map exists.
+    std::vector<int> count(static_cast<std::size_t>(ii_), 0);
+    for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+      const int l = labels_[static_cast<std::size_t>(v)];
+      MONOMAP_ASSERT_MSG(l >= 0 && l < ii_,
+                         "label " << l << " outside [0," << ii_ << ")");
+      if (++count[static_cast<std::size_t>(l)] > arch_.num_pes()) {
+        result.failure_reason = "label layer " + std::to_string(l) +
+                                " exceeds CGRA capacity";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool check_slot_adjacency(SpaceResult& result) const {
+    // Consecutive-only MRRG: an edge is only mappable if its labels are
+    // equal or cyclically consecutive.
+    const Graph& g = dfg_.graph();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      if (edge.src == edge.dst) continue;
+      const int a = labels_[static_cast<std::size_t>(edge.src)];
+      const int b = labels_[static_cast<std::size_t>(edge.dst)];
+      const int d = (b - a + ii_) % ii_;
+      if (!(d == 0 || d == 1 || d == ii_ - 1)) {
+        result.failure_reason =
+            "edge " + std::to_string(edge.src) + "->" +
+            std::to_string(edge.dst) +
+            " spans non-consecutive slots under kConsecutiveOnly";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void build_order() {
+    const int n = dfg_.num_nodes();
+    order_.clear();
+    order_.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    std::vector<int> mapped_neighbors(static_cast<std::size_t>(n), 0);
+
+    auto degree = [&](NodeId v) {
+      return static_cast<int>(neighbors_[static_cast<std::size_t>(v)].size());
+    };
+
+    if (options_.order == SpaceOrder::kDegree) {
+      for (NodeId v = 0; v < n; ++v) order_.push_back(v);
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](NodeId a, NodeId b) { return degree(a) > degree(b); });
+      return;
+    }
+
+    // kConnectivity and kBfs both grow a frontier; kConnectivity picks the
+    // most-connected-to-placed next, kBfs follows FIFO discovery order.
+    for (int step = 0; step < n; ++step) {
+      NodeId best = kInvalidNode;
+      for (NodeId v = 0; v < n; ++v) {
+        if (placed[static_cast<std::size_t>(v)]) continue;
+        if (best == kInvalidNode) {
+          best = v;
+          continue;
+        }
+        const int mb = mapped_neighbors[static_cast<std::size_t>(best)];
+        const int mv = mapped_neighbors[static_cast<std::size_t>(v)];
+        if (options_.order == SpaceOrder::kConnectivity) {
+          if (mv > mb || (mv == mb && degree(v) > degree(best))) {
+            best = v;
+          }
+        } else {  // kBfs: first discovered (any mapped neighbour) wins
+          if (mb == 0 && mv > 0) {
+            best = v;
+          } else if ((mb > 0) == (mv > 0) && degree(v) > degree(best) &&
+                     mb == 0) {
+            best = v;
+          }
+        }
+      }
+      order_.push_back(best);
+      placed[static_cast<std::size_t>(best)] = true;
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(best)]) {
+        ++mapped_neighbors[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+
+  /// Count candidates of `v`, stopping once `limit` is reached (the MRV
+  /// selection only needs "fewer than the current best?").
+  std::size_t count_candidates(NodeId v, std::size_t limit) const {
+    const int label = labels_[static_cast<std::size_t>(v)];
+    PeId anchor = -1;
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      if (assignment_[static_cast<std::size_t>(u)] >= 0) {
+        anchor = assignment_[static_cast<std::size_t>(u)];
+        break;
+      }
+    }
+    std::size_t count = 0;
+    if (anchor >= 0) {
+      for (const PeId p : arch_.closed_neighbors(anchor)) {
+        if (pe_compatible(v, p, label) && ++count >= limit) break;
+      }
+    } else {
+      for (PeId p = 0; p < arch_.num_pes(); ++p) {
+        if (pe_compatible(v, p, label) && ++count >= limit) break;
+      }
+    }
+    return count;
+  }
+
+  [[nodiscard]] bool pe_compatible(NodeId v, PeId p, int label) const {
+    if (slot_used(p, label)) return false;
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      const PeId q = assignment_[static_cast<std::size_t>(u)];
+      if (q < 0) continue;
+      if (!arch_.adjacent_or_same(p, q)) return false;
+      if (p == q && labels_[static_cast<std::size_t>(u)] == label) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Candidate PEs for `v` given current assignment, cheapest filters first.
+  void candidates(NodeId v, std::vector<PeId>& out) const {
+    out.clear();
+    const int label = labels_[static_cast<std::size_t>(v)];
+    // Collect mapped neighbours.
+    PeId anchor = -1;
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      if (assignment_[static_cast<std::size_t>(u)] >= 0) {
+        anchor = assignment_[static_cast<std::size_t>(u)];
+        break;
+      }
+    }
+    auto compatible = [&](PeId p) {
+      if (slot_used(p, label)) return false;
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+        const PeId q = assignment_[static_cast<std::size_t>(u)];
+        if (q < 0) continue;
+        if (!arch_.adjacent_or_same(p, q)) return false;
+        // Same PE is only possible on a different label layer (injectivity
+        // is already guaranteed by slot_used when labels are equal).
+        if (p == q && labels_[static_cast<std::size_t>(u)] == label) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (anchor >= 0) {
+      for (const PeId p : arch_.closed_neighbors(anchor)) {
+        if (compatible(p)) out.push_back(p);
+      }
+    } else {
+      for (PeId p = 0; p < arch_.num_pes(); ++p) {
+        if (compatible(p)) out.push_back(p);
+      }
+    }
+    if (options_.interior_first) {
+      std::stable_sort(out.begin(), out.end(), [&](PeId a, PeId b) {
+        return arch_.closed_neighbors(a).size() >
+               arch_.closed_neighbors(b).size();
+      });
+    }
+  }
+
+  /// Cheap forward check: every unmapped neighbour of v must retain at least
+  /// one available PE adjacent to v's placement.
+  [[nodiscard]] bool neighbors_still_placeable(NodeId v) const {
+    const PeId pv = assignment_[static_cast<std::size_t>(v)];
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      if (assignment_[static_cast<std::size_t>(u)] >= 0) continue;
+      const int lu = labels_[static_cast<std::size_t>(u)];
+      bool open = false;
+      for (const PeId q : arch_.closed_neighbors(pv)) {
+        if (!slot_used(q, lu)) {
+          open = true;
+          break;
+        }
+      }
+      if (!open) return false;
+    }
+    return true;
+  }
+
+  bool search(std::size_t depth, SpaceResult& result) {
+    if (depth == order_.size()) return true;
+    ++result.nodes_expanded;
+    if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
+      result.timed_out = true;
+      result.deadline_expired = true;
+      return false;
+    }
+    if (options_.max_backtracks != 0 &&
+        result.backtracks > options_.max_backtracks) {
+      result.timed_out = true;
+      return false;
+    }
+    const NodeId v = order_[depth];
+    std::vector<PeId> cands;
+    candidates(v, cands);
+    if (depth == 0 && options_.symmetry_breaking) {
+      restrict_to_canonical(cands);
+    }
+    const int label = labels_[static_cast<std::size_t>(v)];
+    for (const PeId p : cands) {
+      assignment_[static_cast<std::size_t>(v)] = p;
+      set_slot(p, label, true);
+      if (!options_.forward_check || neighbors_still_placeable(v)) {
+        if (search(depth + 1, result)) return true;
+        if (result.timed_out) {
+          // unwind without counting further backtracks
+          assignment_[static_cast<std::size_t>(v)] = -1;
+          set_slot(p, label, false);
+          return false;
+        }
+      }
+      assignment_[static_cast<std::size_t>(v)] = -1;
+      set_slot(p, label, false);
+      ++result.backtracks;
+    }
+    return false;
+  }
+
+  void prepare_dynamic() {
+    mapped_neighbor_count_.assign(
+        static_cast<std::size_t>(dfg_.num_nodes()), 0);
+  }
+
+  /// Dynamic minimum-remaining-values search: at every depth pick the
+  /// unmapped node with the fewest compatible PEs (preferring nodes already
+  /// adjacent to the mapped region), recomputing candidate sets as the
+  /// mapping grows. Dead ends (a node with zero candidates) are detected
+  /// the moment they appear — much stronger pruning than a static order on
+  /// hub-heavy DFGs like hotspot3D.
+  bool search_dynamic(std::size_t depth, SpaceResult& result) {
+    const std::size_t n = static_cast<std::size_t>(dfg_.num_nodes());
+    if (depth == n) return true;
+    ++result.nodes_expanded;
+    if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
+      result.timed_out = true;
+      result.deadline_expired = true;
+      return false;
+    }
+    if (options_.max_backtracks != 0 &&
+        result.backtracks > options_.max_backtracks) {
+      result.timed_out = true;
+      return false;
+    }
+    // Select the most constrained node: prefer frontier nodes (those with
+    // mapped neighbours); among them minimise candidate count, break ties
+    // by higher degree. A zero-candidate frontier node forces an immediate
+    // backtrack.
+    NodeId best = kInvalidNode;
+    std::size_t best_cands = 0;
+    bool best_frontier = false;
+    for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+      if (assignment_[static_cast<std::size_t>(v)] >= 0) continue;
+      const bool frontier =
+          mapped_neighbor_count_[static_cast<std::size_t>(v)] > 0;
+      if (best != kInvalidNode && best_frontier && !frontier) continue;
+      // Counting is capped: we only care whether v beats the current best.
+      const std::size_t cap =
+          (best == kInvalidNode || (frontier && !best_frontier))
+              ? static_cast<std::size_t>(arch_.num_pes())
+              : best_cands + 1;
+      const std::size_t count = count_candidates(v, std::max<std::size_t>(cap, 1));
+      if (frontier && count == 0) {
+        ++result.backtracks;
+        return false;  // dead end: some neighbour choice was wrong
+      }
+      const bool better =
+          best == kInvalidNode || (frontier && !best_frontier) ||
+          (frontier == best_frontier &&
+           (count < best_cands ||
+            (count == best_cands &&
+             neighbors_[static_cast<std::size_t>(v)].size() >
+                 neighbors_[static_cast<std::size_t>(best)].size())));
+      if (better) {
+        best = v;
+        best_cands = count;
+        best_frontier = frontier;
+      }
+    }
+    MONOMAP_ASSERT(best != kInvalidNode);
+    std::vector<PeId> cands;
+    candidates(best, cands);
+    if (depth == 0 && options_.symmetry_breaking) {
+      restrict_to_canonical(cands);
+    }
+    const int label = labels_[static_cast<std::size_t>(best)];
+    for (const PeId p : cands) {
+      assignment_[static_cast<std::size_t>(best)] = p;
+      set_slot(p, label, true);
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(best)]) {
+        ++mapped_neighbor_count_[static_cast<std::size_t>(u)];
+      }
+      if (search_dynamic(depth + 1, result)) return true;
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(best)]) {
+        --mapped_neighbor_count_[static_cast<std::size_t>(u)];
+      }
+      assignment_[static_cast<std::size_t>(best)] = -1;
+      set_slot(p, label, false);
+      if (result.timed_out) return false;
+      ++result.backtracks;
+    }
+    return false;
+  }
+
+  /// For the very first placement on an empty square grid, restrict
+  /// candidates to one symmetry octant (sound: any solution can be
+  /// reflected/rotated into one whose first node lies there).
+  void restrict_to_canonical(std::vector<PeId>& cands) const {
+    if (arch_.rows() != arch_.cols() ||
+        arch_.topology() == Topology::kTorus) {
+      return;  // only exploit the 8-fold symmetry of square meshes
+    }
+    const int half = (arch_.rows() + 1) / 2;
+    auto canonical = [&](PeId p) {
+      const int r = arch_.row_of(p);
+      const int c = arch_.col_of(p);
+      return r < half && c < half && c >= r;
+    };
+    std::vector<PeId> filtered;
+    for (const PeId p : cands) {
+      if (canonical(p)) filtered.push_back(p);
+    }
+    if (!filtered.empty()) {
+      cands = std::move(filtered);
+    }
+  }
+
+  const Dfg& dfg_;
+  const CgraArch& arch_;
+  const std::vector<int>& labels_;
+  int ii_;
+  SpaceOptions options_;
+  const Deadline& deadline_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<NodeId> order_;
+  std::vector<PeId> assignment_;
+  std::vector<bool> used_;
+  std::vector<int> mapped_neighbor_count_;  // dynamic-MRV bookkeeping
+};
+
+}  // namespace
+
+SpaceResult find_monomorphism(const Dfg& dfg, const CgraArch& arch,
+                              const std::vector<int>& labels, int ii,
+                              const SpaceOptions& options,
+                              const Deadline& deadline) {
+  MONOMAP_ASSERT(static_cast<int>(labels.size()) == dfg.num_nodes());
+  MONOMAP_ASSERT(ii >= 1);
+  return Searcher(dfg, arch, labels, ii, options, deadline).run();
+}
+
+}  // namespace monomap

@@ -1,0 +1,75 @@
+// Monomorphism search: spatial phase of the decoupled mapper (Sec. IV-C).
+//
+// Given a time solution (a slot label per DFG node), find an injective map
+// from nodes to MRRG vertices (PE, slot) such that every node lands on its
+// own label's layer and every DFG edge lands on an MRRG edge. Because the
+// label layer of each node is fixed, this reduces to placing nodes on PEs:
+//
+//   * two nodes with equal labels need distinct PEs (mono1),
+//   * adjacent DFG nodes need adjacent-or-same PEs (mono3, register-
+//     persistence MRRG model),
+//
+// which is a labelled-subgraph-monomorphism search in the style of RI/VF3
+// ([29],[30]): a static greatest-constraint-first variable order, candidate
+// sets intersected from already-placed neighbours, and chronological
+// backtracking with a cheap forward check.
+#ifndef MONOMAP_SPACE_MONOMORPHISM_HPP
+#define MONOMAP_SPACE_MONOMORPHISM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cgra.hpp"
+#include "arch/mrrg.hpp"
+#include "ir/dfg.hpp"
+#include "support/stopwatch.hpp"
+
+namespace monomap {
+
+/// Variable-ordering heuristic (ablation A3).
+enum class SpaceOrder {
+  kDynamicMrv,    // minimum-remaining-values, recomputed at every step
+                  // (default: fail-first; subsumes forward checking)
+  kConnectivity,  // static greatest-constraint-first (RI-style)
+  kDegree,        // static by descending degree
+  kBfs,           // breadth-first from the max-degree node
+};
+
+const char* to_string(SpaceOrder order);
+
+struct SpaceOptions {
+  SpaceOrder order = SpaceOrder::kDynamicMrv;
+  MrrgModel model = MrrgModel::kRegisterPersistence;
+  bool forward_check = true;
+  bool interior_first = true;       // value ordering: prefer interior PEs
+  bool symmetry_breaking = true;    // restrict the very first placement
+  /// Backtrack budget per invocation; 0 = unlimited. The decoupled mapper
+  /// treats budget exhaustion as "this schedule is hopeless", not as a
+  /// global timeout.
+  std::uint64_t max_backtracks = 500'000;
+};
+
+struct SpaceResult {
+  bool found = false;
+  /// Search stopped early (deadline or backtrack budget).
+  bool timed_out = false;
+  /// The *wall-clock deadline* expired (subset of timed_out).
+  bool deadline_expired = false;
+  std::vector<PeId> pe;  // per node; valid when found
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t backtracks = 0;
+  double seconds = 0.0;
+  std::string failure_reason;
+};
+
+/// Search for a monomorphism of `dfg` (with per-node slot `labels`, values
+/// in [0, ii)) into the MRRG of `arch` at the given II.
+SpaceResult find_monomorphism(const Dfg& dfg, const CgraArch& arch,
+                              const std::vector<int>& labels, int ii,
+                              const SpaceOptions& options = SpaceOptions{},
+                              const Deadline& deadline = Deadline::unlimited());
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SPACE_MONOMORPHISM_HPP

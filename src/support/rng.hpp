@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation (xoshiro256**, SplitMix64).
+//
+// All randomized components (synthetic workloads, search tie-breaking, test
+// sweeps) draw from this generator so that runs are reproducible from a seed.
+#ifndef MONOMAP_SUPPORT_RNG_HPP
+#define MONOMAP_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single value (deterministic hash for memory init etc.).
+constexpr std::uint64_t mix64(std::uint64_t value) {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d6f6e6f6d617021ULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      word = splitmix64(s);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    MONOMAP_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    MONOMAP_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SUPPORT_RNG_HPP

@@ -1,0 +1,62 @@
+// Wall-clock measurement and solve deadlines.
+#ifndef MONOMAP_SUPPORT_STOPWATCH_HPP
+#define MONOMAP_SUPPORT_STOPWATCH_HPP
+
+#include <chrono>
+#include <limits>
+
+namespace monomap {
+
+/// Steady-clock stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last restart().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget shared by the phases of a solve. A non-positive or
+/// infinite budget means "no deadline".
+class Deadline {
+ public:
+  /// No deadline.
+  Deadline() : limit_s_(std::numeric_limits<double>::infinity()) {}
+
+  /// Deadline `budget_s` seconds from now.
+  explicit Deadline(double budget_s) : limit_s_(budget_s) {}
+
+  [[nodiscard]] static Deadline unlimited() { return Deadline(); }
+
+  [[nodiscard]] bool expired() const {
+    return watch_.elapsed_s() >= limit_s_;
+  }
+
+  /// Seconds remaining (never negative; +inf when unlimited).
+  [[nodiscard]] double remaining_s() const {
+    const double rem = limit_s_ - watch_.elapsed_s();
+    return rem > 0.0 ? rem : 0.0;
+  }
+
+  [[nodiscard]] double elapsed_s() const { return watch_.elapsed_s(); }
+
+  [[nodiscard]] double budget_s() const { return limit_s_; }
+
+ private:
+  Stopwatch watch_;
+  double limit_s_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SUPPORT_STOPWATCH_HPP

@@ -1,0 +1,132 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers,
+                       std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  MONOMAP_ASSERT(!headers_.empty());
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_.front() = Align::kLeft;
+  }
+  MONOMAP_ASSERT(aligns_.size() == headers_.size());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  MONOMAP_ASSERT_MSG(cells.size() == headers_.size(),
+                     "row has " << cells.size() << " cells, expected "
+                                << headers_.size());
+  Row row;
+  row.cells = std::move(cells);
+  row.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { pending_separator_ = true; }
+
+namespace {
+
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths,
+                 const std::vector<Align>& aligns) {
+  os << '|';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::string& text = cells[c];
+    const std::size_t pad = widths[c] - text.size();
+    os << ' ';
+    if (aligns[c] == Align::kRight) {
+      os << std::string(pad, ' ') << text;
+    } else {
+      os << text << std::string(pad, ' ');
+    }
+    os << " |";
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  print_rule(os, widths);
+  print_cells(os, headers_, widths, aligns_);
+  print_rule(os, widths);
+  for (const Row& row : rows_) {
+    if (row.separator_before) {
+      print_rule(os, widths);
+    }
+    print_cells(os, row.cells, widths, aligns_);
+  }
+  print_rule(os, widths);
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_time_s(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) {
+    return "TO";
+  }
+  if (seconds < 0.01) {
+    return "~0.01";
+  }
+  return format_fixed(seconds, 2);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    const std::string& cell = cells[i];
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      os_ << cell;
+      continue;
+    }
+    os_ << '"';
+    for (char ch : cell) {
+      if (ch == '"') os_ << '"';
+      os_ << ch;
+    }
+    os_ << '"';
+  }
+  os_ << '\n';
+}
+
+}  // namespace monomap

@@ -1,0 +1,67 @@
+// ASCII table / CSV rendering used by the bench harnesses to print
+// paper-style result tables.
+#ifndef MONOMAP_SUPPORT_TABLE_HPP
+#define MONOMAP_SUPPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace monomap {
+
+/// Column alignment for AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows of strings, print.
+/// Column widths are computed from content.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers,
+                      std::vector<Align> aligns = {});
+
+  /// Append a row; it must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  /// Render with box-drawing in plain ASCII ("+-|").
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Format seconds the way the paper's Table III does: "~0.01" below 10 ms,
+/// otherwise two decimals; "TO" for timeouts (negative values).
+std::string format_time_s(double seconds);
+
+/// Format a double with `digits` decimals.
+std::string format_fixed(double value, int digits);
+
+/// Write rows as CSV (minimal quoting: fields containing comma/quote/newline
+/// get quoted with doubled quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SUPPORT_TABLE_HPP

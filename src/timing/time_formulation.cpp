@@ -1,0 +1,193 @@
+#include "timing/time_formulation.hpp"
+
+#include <algorithm>
+
+namespace monomap {
+
+TimeFormulation::TimeFormulation(const Dfg& dfg, const CgraArch& arch, int ii,
+                                 int horizon, TimeConstraintOptions options)
+    : dfg_(dfg),
+      arch_(arch),
+      ii_(ii),
+      options_(options),
+      mobs_(dfg, horizon),
+      cnf_(solver_) {
+  MONOMAP_ASSERT(ii >= 1);
+}
+
+Lit TimeFormulation::x_lit(NodeId v, int t) const {
+  const ScheduleRange& r = mobs_.range(v);
+  MONOMAP_ASSERT(r.contains(t));
+  return Lit::pos(x_base_[static_cast<std::size_t>(v)] + (t - r.asap));
+}
+
+std::optional<Lit> TimeFormulation::y_lit(NodeId v, int slot) const {
+  MONOMAP_ASSERT(slot >= 0 && slot < ii_);
+  const SatVar var = y_var_[static_cast<std::size_t>(v) *
+                                static_cast<std::size_t>(ii_) +
+                            static_cast<std::size_t>(slot)];
+  if (var < 0) return std::nullopt;
+  return Lit::pos(var);
+}
+
+bool TimeFormulation::emit_selection() {
+  const int n = dfg_.num_nodes();
+  x_base_.resize(static_cast<std::size_t>(n));
+  y_var_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(ii_),
+                -1);
+  for (NodeId v = 0; v < n; ++v) {
+    const ScheduleRange& r = mobs_.range(v);
+    x_base_[static_cast<std::size_t>(v)] = solver_.new_var();
+    for (int t = r.asap + 1; t <= r.alap; ++t) {
+      solver_.new_var();
+    }
+    std::vector<Lit> choices;
+    choices.reserve(static_cast<std::size_t>(r.width()));
+    for (int t = r.asap; t <= r.alap; ++t) {
+      choices.push_back(x_lit(v, t));
+    }
+    if (!cnf_.exactly_one(choices)) return false;
+
+    // Slot aliases y[v][i] <-> OR of x[v][T] with T mod II == i.
+    for (int slot = 0; slot < ii_; ++slot) {
+      std::vector<Lit> members;
+      for (int t = r.asap; t <= r.alap; ++t) {
+        if (t % ii_ == slot) members.push_back(x_lit(v, t));
+      }
+      if (members.empty()) continue;
+      const SatVar y = solver_.new_var();
+      y_var_[static_cast<std::size_t>(v) * static_cast<std::size_t>(ii_) +
+             static_cast<std::size_t>(slot)] = y;
+      if (!cnf_.equiv_or(Lit::pos(y), members)) return false;
+    }
+  }
+  return true;
+}
+
+bool TimeFormulation::emit_dependencies() {
+  const Graph& g = dfg_.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.src == edge.dst) {
+      // Self-dependency: T_d == T_s, needs dist*II >= 1.
+      MONOMAP_ASSERT_MSG(edge.attr >= 1,
+                         "zero-distance self-dependency is unschedulable");
+      continue;
+    }
+    const ScheduleRange& rs = mobs_.range(edge.src);
+    const ScheduleRange& rd = mobs_.range(edge.dst);
+    for (int ts = rs.asap; ts <= rs.alap; ++ts) {
+      for (int td = rd.asap; td <= rd.alap; ++td) {
+        // Require T_d + dist*II >= T_s + 1; forbid violating pairs.
+        bool forbid = td + edge.attr * ii_ < ts + 1;
+        if (!forbid && options_.consecutive_slots && ii_ > 2) {
+          // Restricted interconnect: the MRRG only links equal or
+          // cyclically-consecutive slots (no register persistence).
+          const int d = ((td - ts) % ii_ + ii_) % ii_;
+          forbid = !(d == 0 || d == 1 || d == ii_ - 1);
+        }
+        if (forbid &&
+            !cnf_.forbid_pair(x_lit(edge.src, ts), x_lit(edge.dst, td))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool TimeFormulation::emit_capacity() {
+  const int n = dfg_.num_nodes();
+  for (int slot = 0; slot < ii_; ++slot) {
+    std::vector<Lit> at_slot;
+    for (NodeId v = 0; v < n; ++v) {
+      if (const auto y = y_lit(v, slot)) {
+        at_slot.push_back(*y);
+      }
+    }
+    if (static_cast<int>(at_slot.size()) <= arch_.num_pes()) continue;
+    if (!cnf_.at_most_k(at_slot, arch_.num_pes())) return false;
+  }
+  return true;
+}
+
+bool TimeFormulation::emit_connectivity() {
+  const int n = dfg_.num_nodes();
+  const int degree = arch_.connectivity_degree();
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<NodeId> neighbors = dfg_.graph().undirected_neighbors(v);
+    const int self_term = options_.strict_connectivity ? 1 : 0;
+    if (static_cast<int>(neighbors.size()) + self_term <= degree) {
+      continue;  // can never exceed D_M
+    }
+    for (int slot = 0; slot < ii_; ++slot) {
+      std::vector<Lit> same_slot;
+      for (const NodeId u : neighbors) {
+        if (const auto y = y_lit(u, slot)) {
+          same_slot.push_back(*y);
+        }
+      }
+      if (options_.strict_connectivity) {
+        // Count v itself: it occupies its own PE, which is one of the D_M
+        // closed-neighbourhood positions of that PE at its own slot.
+        if (const auto yv = y_lit(v, slot)) {
+          same_slot.push_back(*yv);
+        }
+      }
+      if (static_cast<int>(same_slot.size()) <= degree) continue;
+      if (!cnf_.at_most_k(same_slot, degree)) return false;
+    }
+  }
+  return true;
+}
+
+bool TimeFormulation::build() {
+  MONOMAP_ASSERT(!built_);
+  built_ = true;
+  if (!emit_selection()) return false;
+  if (options_.dependencies && !emit_dependencies()) return false;
+  if (options_.capacity && !emit_capacity()) return false;
+  if (options_.connectivity && !emit_connectivity()) return false;
+  return true;
+}
+
+SatStatus TimeFormulation::solve(const Deadline& deadline) {
+  MONOMAP_ASSERT(built_);
+  return solver_.solve(deadline);
+}
+
+TimeSolution TimeFormulation::extract() const {
+  TimeSolution solution;
+  solution.ii = ii_;
+  solution.horizon = mobs_.length();
+  solution.time.resize(static_cast<std::size_t>(dfg_.num_nodes()), -1);
+  for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+    const ScheduleRange& r = mobs_.range(v);
+    for (int t = r.asap; t <= r.alap; ++t) {
+      if (solver_.model_value(x_lit(v, t))) {
+        solution.time[static_cast<std::size_t>(v)] = t;
+        break;
+      }
+    }
+    MONOMAP_ASSERT_MSG(solution.time[static_cast<std::size_t>(v)] >= 0,
+                       "model has no time for node " << v);
+  }
+  return solution;
+}
+
+bool TimeFormulation::block_labels(const TimeSolution& solution) {
+  std::vector<Lit> clause;
+  clause.reserve(static_cast<std::size_t>(dfg_.num_nodes()));
+  for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+    const auto y = y_lit(v, solution.label(v));
+    MONOMAP_ASSERT(y.has_value());
+    clause.push_back(~*y);
+  }
+  return solver_.add_clause(std::move(clause));
+}
+
+TimeFormulationStats TimeFormulation::stats() const {
+  return TimeFormulationStats{solver_.num_vars(), solver_.num_clauses()};
+}
+
+}  // namespace monomap

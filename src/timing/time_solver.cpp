@@ -1,0 +1,98 @@
+#include "timing/time_solver.hpp"
+
+#include <algorithm>
+
+#include "sched/asap_alap.hpp"
+#include "support/log.hpp"
+
+namespace monomap {
+
+TimeSolver::TimeSolver(const Dfg& dfg, const CgraArch& arch,
+                       TimeSolverOptions options)
+    : dfg_(dfg),
+      arch_(arch),
+      options_(options),
+      mii_(compute_mii(dfg, arch)),
+      max_ii_(options.max_ii > 0
+                  ? options.max_ii
+                  : std::max(mii_.mii(), std::max(1, dfg.num_nodes()))),
+      ii_(mii_.mii()) {
+  MONOMAP_ASSERT(dfg.num_nodes() > 0);
+  extension_ = -1;  // advance_instance() pre-increments
+}
+
+TimeSolver::~TimeSolver() = default;
+
+bool TimeSolver::advance_instance() {
+  for (;;) {
+    ++extension_;
+    if (extension_ > options_.max_horizon_extension) {
+      extension_ = 0;
+      ++ii_;
+    }
+    if (ii_ > max_ii_) {
+      return false;  // also covers mII already above the configured cap
+    }
+    const int horizon = critical_path_length(dfg_) + extension_;
+    formulation_ = std::make_unique<TimeFormulation>(
+        dfg_, arch_, ii_, horizon, options_.constraints);
+    ++stats_.instances_built;
+    if (formulation_->build()) {
+      instance_ok_ = true;
+      stats_.last_formulation = formulation_->stats();
+      return true;
+    }
+    // Trivially unsatisfiable (e.g. capacity cannot fit); try next instance.
+    instance_ok_ = false;
+  }
+}
+
+bool TimeSolver::skip_to_next_ii() {
+  formulation_.reset();
+  instance_ok_ = false;
+  last_solution_.reset();
+  extension_ = -1;  // advance_instance() pre-increments to 0
+  ++ii_;
+  return ii_ <= max_ii_;
+}
+
+std::optional<TimeSolution> TimeSolver::next(const Deadline& deadline) {
+  // Block the previously yielded solution so the search moves on.
+  if (formulation_ && instance_ok_ && last_solution_.has_value()) {
+    if (!formulation_->block_labels(*last_solution_)) {
+      instance_ok_ = false;  // no more label vectors at this instance
+    }
+    last_solution_.reset();
+  }
+  for (;;) {
+    if (deadline.expired()) {
+      timed_out_ = true;
+      return std::nullopt;
+    }
+    if (!formulation_ || !instance_ok_) {
+      if (!advance_instance()) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    ++stats_.sat_calls;
+    const SatStatus status = formulation_->solve(deadline);
+    if (status == SatStatus::kSat) {
+      TimeSolution solution = formulation_->extract();
+      MONOMAP_DEBUG("time solution at II=" << ii_ << " horizon="
+                                           << solution.horizon);
+      last_solution_ = solution;
+      ++stats_.solutions_yielded;
+      stats_.final_ii = ii_;
+      return solution;
+    }
+    if (status == SatStatus::kUnknown) {
+      timed_out_ = true;
+      return std::nullopt;
+    }
+    // UNSAT: exhaust this instance, move on.
+    instance_ok_ = false;
+  }
+}
+
+}  // namespace monomap

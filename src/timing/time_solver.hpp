@@ -1,0 +1,84 @@
+// Time-dimension search driver (paper Sec. IV-B).
+//
+// Sweeps II upward from mII. For each II it builds the SAT formulation over
+// the KMS (optionally with extended schedule horizons, which add mobility
+// slack exactly like SAT-MapIt's iterative schedule extension) and yields
+// schedules. The caller (DecoupledMapper) may ask for further, different-
+// labelled schedules after a space failure; the solver blocks the previous
+// label vector and re-solves incrementally.
+#ifndef MONOMAP_TIMING_TIME_SOLVER_HPP
+#define MONOMAP_TIMING_TIME_SOLVER_HPP
+
+#include <memory>
+#include <optional>
+
+#include "sched/mii.hpp"
+#include "timing/time_formulation.hpp"
+
+namespace monomap {
+
+struct TimeSolverOptions {
+  TimeConstraintOptions constraints;
+  /// Highest II to try; 0 = automatic (max(mII, #nodes) — at II = #nodes a
+  /// fully sequential schedule always satisfies capacity and connectivity).
+  int max_ii = 0;
+  /// Extra schedule steps to try beyond the critical path at each II before
+  /// giving the II up. Adds KMS folds, exactly like the paper's iterative
+  /// MobS folding.
+  int max_horizon_extension = 8;
+};
+
+struct TimeSolverStats {
+  int instances_built = 0;
+  int sat_calls = 0;
+  int solutions_yielded = 0;
+  int final_ii = 0;
+  TimeFormulationStats last_formulation;
+};
+
+class TimeSolver {
+ public:
+  TimeSolver(const Dfg& dfg, const CgraArch& arch,
+             TimeSolverOptions options = TimeSolverOptions{});
+  ~TimeSolver();
+  TimeSolver(const TimeSolver&) = delete;
+  TimeSolver& operator=(const TimeSolver&) = delete;
+
+  /// Yield the next time solution. The first call returns a schedule at the
+  /// lowest feasible II >= mII; subsequent calls block the previously
+  /// returned label vector and continue the search (same II first, then
+  /// larger horizons, then larger IIs). Returns std::nullopt when the search
+  /// space is exhausted up to max_ii or the deadline expired (see
+  /// timed_out()).
+  std::optional<TimeSolution> next(const Deadline& deadline);
+
+  /// Abandon the current II entirely (the mapper calls this when several
+  /// schedules at this II failed in space) and continue at II+1. Returns
+  /// false if II+1 exceeds max_ii.
+  bool skip_to_next_ii();
+
+  [[nodiscard]] int current_ii() const { return ii_; }
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+  [[nodiscard]] const MiiBreakdown& mii() const { return mii_; }
+  [[nodiscard]] const TimeSolverStats& stats() const { return stats_; }
+
+ private:
+  bool advance_instance();  // move to next (ii, extension); false if done
+
+  const Dfg& dfg_;
+  const CgraArch& arch_;
+  TimeSolverOptions options_;
+  MiiBreakdown mii_;
+  int max_ii_;
+  int ii_;
+  int extension_ = 0;
+  std::unique_ptr<TimeFormulation> formulation_;
+  std::optional<TimeSolution> last_solution_;
+  bool instance_ok_ = false;
+  bool timed_out_ = false;
+  TimeSolverStats stats_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_TIMING_TIME_SOLVER_HPP

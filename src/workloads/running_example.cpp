@@ -1,0 +1,18 @@
+#include "workloads/running_example.hpp"
+
+namespace monomap {
+
+Dfg running_example_dfg() {
+  // Data dependencies (black edges in Fig. 2a).
+  std::vector<Edge> edges = {
+      {4, 5, 0},  {5, 6, 0},  {3, 6, 0},  {6, 7, 0},   {6, 8, 0},
+      {0, 8, 0},  {2, 8, 0},  {8, 9, 0},  {1, 9, 0},   {9, 10, 0},
+      {7, 10, 0}, {4, 11, 0}, {11, 12, 0}, {12, 13, 0},
+      // Loop-carried dependency (red edge): node 7 feeds node 4 of the next
+      // iteration, closing the RecII = 4 cycle 4 -> 5 -> 6 -> 7 -> 4.
+      {7, 4, 1},
+  };
+  return Dfg::from_edges("running_example", 14, edges);
+}
+
+}  // namespace monomap

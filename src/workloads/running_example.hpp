@@ -1,0 +1,20 @@
+// The paper's running example (Fig. 2a / Table I / Table II).
+//
+// The 14-node DFG below was reconstructed from Table I: with horizon 6 the
+// ASAP/ALAP/MobS tables it produces match the paper's Table I cell-for-cell,
+// and its recurrence cycle 4 -> 5 -> 6 -> 7 -> (distance-1) -> 4 gives
+// RecII = 4 while ResII on a 2x2 CGRA is ceil(14/4) = 4, so mII = 4 — the
+// paper's starting point.
+#ifndef MONOMAP_WORKLOADS_RUNNING_EXAMPLE_HPP
+#define MONOMAP_WORKLOADS_RUNNING_EXAMPLE_HPP
+
+#include "ir/dfg.hpp"
+
+namespace monomap {
+
+/// The Fig. 2a DFG: 14 nodes, 14 data edges, 1 loop-carried edge (7 -> 4).
+Dfg running_example_dfg();
+
+}  // namespace monomap
+
+#endif  // MONOMAP_WORKLOADS_RUNNING_EXAMPLE_HPP

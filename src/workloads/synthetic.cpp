@@ -1,0 +1,100 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace monomap {
+
+Dfg random_dfg(const SyntheticSpec& spec) {
+  MONOMAP_ASSERT(spec.num_nodes >= 1);
+  Rng rng(spec.seed);
+  std::vector<Edge> edges;
+  std::vector<int> degree(static_cast<std::size_t>(spec.num_nodes), 0);
+
+  auto try_edge = [&](NodeId src, NodeId dst, int dist) {
+    if (degree[static_cast<std::size_t>(src)] >= spec.max_degree ||
+        degree[static_cast<std::size_t>(dst)] >= spec.max_degree) {
+      return false;
+    }
+    for (const Edge& e : edges) {
+      if (e.src == src && e.dst == dst && e.attr == dist) return false;
+    }
+    edges.push_back(Edge{src, dst, dist});
+    ++degree[static_cast<std::size_t>(src)];
+    ++degree[static_cast<std::size_t>(dst)];
+    return true;
+  };
+
+  // Spanning structure: each node (except 0) consumes one earlier value,
+  // preferring producers that still have degree headroom.
+  for (NodeId v = 1; v < spec.num_nodes; ++v) {
+    auto u = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(v)));
+    for (int attempt = 0;
+         attempt < 8 && degree[static_cast<std::size_t>(u)] >= spec.max_degree;
+         ++attempt) {
+      u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    }
+    edges.push_back(Edge{u, v, 0});
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  }
+  // Extra forward edges.
+  for (NodeId v = 2; v < spec.num_nodes; ++v) {
+    if (rng.next_bool(spec.extra_edge_prob)) {
+      const auto u = static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(v)));
+      try_edge(u, v, 0);
+    }
+  }
+  // Recurrences: distance-1 back edges from a later node to an earlier one.
+  int placed = 0;
+  for (int attempt = 0; attempt < 10 * spec.num_recurrences &&
+                        placed < spec.num_recurrences && spec.num_nodes > 1;
+       ++attempt) {
+    const auto a = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(spec.num_nodes)));
+    const auto b = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(spec.num_nodes)));
+    const NodeId src = std::max(a, b);
+    const NodeId dst = std::min(a, b);
+    if (src == dst) continue;
+    if (try_edge(src, dst, 1)) ++placed;
+  }
+  return Dfg::from_edges("synthetic_" + std::to_string(spec.seed),
+                         spec.num_nodes, edges);
+}
+
+Dfg layered_dfg(int layers, int width, std::uint64_t seed) {
+  MONOMAP_ASSERT(layers >= 1 && width >= 1);
+  Rng rng(seed);
+  const int n = layers * width;
+  std::vector<Edge> edges;
+  auto node = [width](int layer, int pos) { return layer * width + pos; };
+  for (int layer = 1; layer < layers; ++layer) {
+    for (int pos = 0; pos < width; ++pos) {
+      // One guaranteed producer in the previous layer keeps it connected...
+      const int p = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(width)));
+      edges.push_back(Edge{node(layer - 1, p), node(layer, pos), 0});
+      // ...plus an occasional second one.
+      if (width > 1 && rng.next_bool(0.4)) {
+        const int q = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(width)));
+        if (q != p) {
+          edges.push_back(Edge{node(layer - 1, q), node(layer, pos), 0});
+        }
+      }
+    }
+  }
+  // One loop-carried recurrence from the last layer back to the first.
+  edges.push_back(Edge{node(layers - 1, 0), node(0, 0), 1});
+  return Dfg::from_edges("layered_" + std::to_string(layers) + "x" +
+                             std::to_string(width),
+                         n, edges);
+}
+
+}  // namespace monomap

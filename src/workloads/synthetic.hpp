@@ -1,0 +1,34 @@
+// Synthetic DFG generators for property tests and micro-benchmarks.
+#ifndef MONOMAP_WORKLOADS_SYNTHETIC_HPP
+#define MONOMAP_WORKLOADS_SYNTHETIC_HPP
+
+#include <cstdint>
+
+#include "ir/dfg.hpp"
+
+namespace monomap {
+
+struct SyntheticSpec {
+  int num_nodes = 20;
+  /// Probability of an extra edge to a random earlier node (beyond the one
+  /// that keeps the graph connected).
+  double extra_edge_prob = 0.3;
+  /// Number of distance-1 back edges closing recurrence cycles.
+  int num_recurrences = 1;
+  /// Cap on undirected node degree (mirrors bounded operand/fan-out counts
+  /// of real DFGs; also keeps connectivity constraints satisfiable).
+  int max_degree = 4;
+  std::uint64_t seed = 1;
+};
+
+/// A random connected DFG: every node links to an earlier node, extra edges
+/// and a few distance-1 back edges are sprinkled subject to max_degree.
+Dfg random_dfg(const SyntheticSpec& spec);
+
+/// A layered DAG ("pipeline" shape): `layers` layers of `width` nodes, each
+/// node feeding 1-2 nodes of the next layer, plus one recurrence.
+Dfg layered_dfg(int layers, int width, std::uint64_t seed);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_WORKLOADS_SYNTHETIC_HPP

@@ -1,0 +1,87 @@
+// Tests for the DRESC-style simulated-annealing baseline.
+#include <gtest/gtest.h>
+
+#include "mapper/annealing_mapper.hpp"
+#include "mapper/decoupled_mapper.hpp"
+#include "workloads/running_example.hpp"
+#include "workloads/suite.hpp"
+
+namespace monomap {
+namespace {
+
+AnnealingOptions quick_options() {
+  AnnealingOptions opt;
+  opt.timeout_s = 60.0;
+  return opt;
+}
+
+TEST(Annealing, RunningExampleMapsValidly) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  const AnnealResult r = AnnealingMapper(quick_options()).map(dfg, arch);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(mapping_is_valid(dfg, arch, r.mapping));
+  EXPECT_GE(r.ii, r.mii.mii());
+}
+
+TEST(Annealing, DeterministicUnderFixedSeed) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  const AnnealResult a = AnnealingMapper(quick_options()).map(dfg, arch);
+  const AnnealResult b = AnnealingMapper(quick_options()).map(dfg, arch);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(a.ii, b.ii);
+  EXPECT_EQ(a.moves, b.moves);
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    EXPECT_EQ(a.mapping.pe(v), b.mapping.pe(v));
+    EXPECT_EQ(a.mapping.time(v), b.mapping.time(v));
+  }
+}
+
+class AnnealingSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnealingSuite, MapsValidlyOn4x4) {
+  const Benchmark& b = benchmark_suite()[static_cast<std::size_t>(GetParam())];
+  const CgraArch arch = CgraArch::square(4);
+  const AnnealResult r = AnnealingMapper(quick_options()).map(b.dfg, arch);
+  ASSERT_TRUE(r.success) << b.name << ": " << r.failure_reason;
+  EXPECT_TRUE(mapping_is_valid(b.dfg, arch, r.mapping)) << b.name;
+}
+
+// The smaller/medium kernels; the widest ones can exceed the quick budget —
+// which is itself the paper's point about heuristics (bench_heuristic
+// measures it instead of asserting it).
+INSTANTIATE_TEST_SUITE_P(
+    Subset, AnnealingSuite, ::testing::Values(0, 2, 3, 6, 7, 13, 16),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return benchmark_suite()[static_cast<std::size_t>(info.param)].name;
+    });
+
+TEST(Annealing, QualityNeverBeatsExactMapper) {
+  // The exact decoupled mapper proves II optimality per instance (modulo
+  // constraint gaps); annealing can only match or exceed its II.
+  for (const char* name : {"bitcount", "susan", "gsm"}) {
+    const Benchmark& b = benchmark_by_name(name);
+    const CgraArch arch = CgraArch::square(3);
+    DecoupledMapperOptions exact_opt;
+    exact_opt.timeout_s = 60.0;
+    const MapResult exact = DecoupledMapper(exact_opt).map(b.dfg, arch);
+    const AnnealResult heur = AnnealingMapper(quick_options()).map(b.dfg, arch);
+    ASSERT_TRUE(exact.success) << name;
+    ASSERT_TRUE(heur.success) << name;
+    EXPECT_LE(exact.ii, heur.ii) << name;
+  }
+}
+
+TEST(Annealing, TimeoutReported) {
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  AnnealingOptions opt;
+  opt.timeout_s = 1e-6;
+  const AnnealResult r = AnnealingMapper(opt).map(b.dfg, CgraArch::square(5));
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.timed_out);
+}
+
+}  // namespace
+}  // namespace monomap

@@ -1,0 +1,165 @@
+// Tests for the CGRA architecture model and the MRRG (paper Fig. 1/Fig. 3).
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hpp"
+#include "arch/mrrg.hpp"
+
+namespace monomap {
+namespace {
+
+TEST(Cgra, TwoByTwoDegreeIsThree) {
+  // Paper Sec. IV-B3: D_M = 3 in a 2x2 architecture.
+  const CgraArch arch = CgraArch::square(2);
+  EXPECT_EQ(arch.num_pes(), 4);
+  EXPECT_EQ(arch.connectivity_degree(), 3);
+  for (PeId pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(arch.neighbors(pe).size(), 2u);
+    EXPECT_EQ(arch.closed_neighbors(pe).size(), 3u);
+  }
+}
+
+TEST(Cgra, ThreeByThreeAndLargerDegreeIsFive) {
+  // Paper Sec. IV-B3: D_M = 5 in 3x3 and larger architectures.
+  for (const int n : {3, 5, 10, 20}) {
+    const CgraArch arch = CgraArch::square(n);
+    EXPECT_EQ(arch.connectivity_degree(), 5) << n;
+  }
+}
+
+TEST(Cgra, MeshAdjacency) {
+  const CgraArch arch = CgraArch::square(3);
+  const PeId center = arch.pe_at(1, 1);
+  EXPECT_EQ(arch.neighbors(center).size(), 4u);
+  EXPECT_TRUE(arch.adjacent(center, arch.pe_at(0, 1)));
+  EXPECT_TRUE(arch.adjacent(center, arch.pe_at(2, 1)));
+  EXPECT_TRUE(arch.adjacent(center, arch.pe_at(1, 0)));
+  EXPECT_TRUE(arch.adjacent(center, arch.pe_at(1, 2)));
+  EXPECT_FALSE(arch.adjacent(center, arch.pe_at(0, 0)));
+  EXPECT_FALSE(arch.adjacent(center, center));
+  EXPECT_TRUE(arch.adjacent_or_same(center, center));
+}
+
+TEST(Cgra, CornerAndEdgeDegrees) {
+  const CgraArch arch = CgraArch::square(3);
+  EXPECT_EQ(arch.neighbors(arch.pe_at(0, 0)).size(), 2u);  // corner
+  EXPECT_EQ(arch.neighbors(arch.pe_at(0, 1)).size(), 3u);  // edge
+}
+
+TEST(Cgra, TorusWrapsAround) {
+  const CgraArch arch(3, 3, Topology::kTorus);
+  EXPECT_TRUE(arch.adjacent(arch.pe_at(0, 0), arch.pe_at(0, 2)));
+  EXPECT_TRUE(arch.adjacent(arch.pe_at(0, 0), arch.pe_at(2, 0)));
+  // Every PE of a 3x3 torus has 4 neighbours.
+  for (PeId pe = 0; pe < 9; ++pe) {
+    EXPECT_EQ(arch.neighbors(pe).size(), 4u);
+  }
+}
+
+TEST(Cgra, DiagonalHasEightNeighbors) {
+  const CgraArch arch(3, 3, Topology::kDiagonal);
+  EXPECT_EQ(arch.neighbors(arch.pe_at(1, 1)).size(), 8u);
+  EXPECT_EQ(arch.connectivity_degree(), 9);
+}
+
+TEST(Cgra, RectangularGrids) {
+  const CgraArch arch(2, 4);
+  EXPECT_EQ(arch.num_pes(), 8);
+  EXPECT_EQ(arch.row_of(5), 1);
+  EXPECT_EQ(arch.col_of(5), 1);
+  EXPECT_EQ(arch.pe_at(1, 1), 5);
+}
+
+TEST(Cgra, OneByOneHasNoNeighbors) {
+  const CgraArch arch(1, 1);
+  EXPECT_TRUE(arch.neighbors(0).empty());
+  EXPECT_EQ(arch.connectivity_degree(), 1);
+}
+
+TEST(Cgra, InvalidSizeThrows) {
+  EXPECT_THROW(CgraArch(0, 3), AssertionError);
+}
+
+TEST(Mrrg, Fig3Shape) {
+  // Fig. 3: MRRG of a 2x2 CGRA at II=4 — 16 vertices, label = time step.
+  const CgraArch arch = CgraArch::square(2);
+  const Mrrg mrrg(arch, 4);
+  EXPECT_EQ(mrrg.num_vertices(), 16);
+  for (MrrgVertexId v = 0; v < mrrg.num_vertices(); ++v) {
+    EXPECT_EQ(mrrg.label(v), mrrg.slot_of(v));
+    EXPECT_EQ(mrrg.vertex(mrrg.pe_of(v), mrrg.slot_of(v)), v);
+  }
+}
+
+TEST(Mrrg, RegisterPersistenceAdjacency) {
+  const CgraArch arch = CgraArch::square(2);
+  const Mrrg mrrg(arch, 4);
+  const MrrgVertexId a = mrrg.vertex(0, 0);
+  // Same PE, different slot: adjacent (value persists in own RF).
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(0, 2)));
+  // Neighbour PE, any slot: adjacent.
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(1, 0)));
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(1, 3)));
+  // PE3 is diagonal from PE0 in a 2x2 mesh: never adjacent.
+  EXPECT_FALSE(mrrg.adjacent(a, mrrg.vertex(3, 0)));
+  EXPECT_FALSE(mrrg.adjacent(a, mrrg.vertex(3, 2)));
+  // No self adjacency.
+  EXPECT_FALSE(mrrg.adjacent(a, a));
+}
+
+TEST(Mrrg, ConsecutiveOnlyRestrictsTimeDistance) {
+  const CgraArch arch = CgraArch::square(2);
+  const Mrrg mrrg(arch, 4, MrrgModel::kConsecutiveOnly);
+  const MrrgVertexId a = mrrg.vertex(0, 0);
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(1, 0)));   // same slot
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(0, 1)));   // next slot
+  EXPECT_TRUE(mrrg.adjacent(a, mrrg.vertex(0, 3)));   // cyclic previous
+  EXPECT_FALSE(mrrg.adjacent(a, mrrg.vertex(0, 2)));  // two steps away
+}
+
+TEST(Mrrg, NeighborEnumerationMatchesAdjacency) {
+  const CgraArch arch = CgraArch::square(3);
+  for (const MrrgModel model :
+       {MrrgModel::kRegisterPersistence, MrrgModel::kConsecutiveOnly}) {
+    const Mrrg mrrg(arch, 3, model);
+    for (MrrgVertexId v = 0; v < mrrg.num_vertices(); ++v) {
+      const auto neigh = mrrg.neighbors(v);
+      int count = 0;
+      for (MrrgVertexId w = 0; w < mrrg.num_vertices(); ++w) {
+        if (mrrg.adjacent(v, w)) {
+          ++count;
+          EXPECT_NE(std::find(neigh.begin(), neigh.end(), w), neigh.end());
+        }
+      }
+      EXPECT_EQ(count, static_cast<int>(neigh.size()));
+    }
+  }
+}
+
+TEST(Mrrg, EdgeCountGrowsWithIi) {
+  const CgraArch arch = CgraArch::square(2);
+  const Mrrg m1(arch, 1);
+  const Mrrg m2(arch, 2);
+  const Mrrg m4(arch, 4);
+  EXPECT_LT(m1.count_edges(), m2.count_edges());
+  EXPECT_LT(m2.count_edges(), m4.count_edges());
+  // II=1, 2x2 persistence model: only the 4 mesh edges.
+  EXPECT_EQ(m1.count_edges(), 4);
+}
+
+TEST(Mrrg, InvalidConstructionThrows) {
+  const CgraArch arch = CgraArch::square(2);
+  EXPECT_THROW(Mrrg(arch, 0), AssertionError);
+  const Mrrg mrrg(arch, 2);
+  EXPECT_THROW(mrrg.vertex(0, 2), AssertionError);
+  EXPECT_THROW(mrrg.vertex(9, 0), AssertionError);
+}
+
+TEST(Cgra, DescriptionMentionsShape) {
+  const CgraArch arch = CgraArch::square(5);
+  const std::string desc = arch.description();
+  EXPECT_NE(desc.find("5x5"), std::string::npos);
+  EXPECT_NE(desc.find("25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace monomap

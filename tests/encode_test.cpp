@@ -1,0 +1,174 @@
+// Tests for the CNF encoding layer: one-hot, at-most-k (sequential counter),
+// implications — exhaustively cross-checked by model enumeration.
+#include <gtest/gtest.h>
+
+#include "encode/cnf_builder.hpp"
+
+namespace monomap {
+namespace {
+
+std::vector<Lit> make_vars(SatSolver& s, int n) {
+  std::vector<Lit> lits;
+  for (int i = 0; i < n; ++i) {
+    lits.push_back(Lit::pos(s.new_var()));
+  }
+  return lits;
+}
+
+/// Enumerate all models over the first `n` variables; returns the multiset
+/// of popcounts seen.
+std::vector<int> model_popcounts(SatSolver& s, const std::vector<Lit>& vars) {
+  std::vector<int> counts;
+  while (s.solve() == SatStatus::kSat) {
+    int pop = 0;
+    std::vector<Lit> block;
+    for (const Lit l : vars) {
+      const bool val = s.model_value(l);
+      pop += val ? 1 : 0;
+      block.push_back(val ? ~l : l);
+    }
+    counts.push_back(pop);
+    if (!s.add_clause(block)) break;
+    if (counts.size() > 5000u) break;  // safety
+  }
+  return counts;
+}
+
+class AtMostK : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AtMostK, ExactlyTheRightModelCount) {
+  const auto [n, k] = GetParam();
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, n);
+  ASSERT_TRUE(cnf.at_most_k(vars, k));
+  const auto counts = model_popcounts(s, vars);
+  // Expected number of assignments with popcount <= k: sum of C(n, j).
+  std::uint64_t expected = 0;
+  for (int j = 0; j <= k && j <= n; ++j) {
+    std::uint64_t c = 1;
+    for (int t = 0; t < j; ++t) {
+      c = c * static_cast<std::uint64_t>(n - t) /
+          static_cast<std::uint64_t>(t + 1);
+    }
+    expected += c;
+  }
+  EXPECT_EQ(counts.size(), expected);
+  for (const int pop : counts) {
+    EXPECT_LE(pop, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AtMostK,
+    ::testing::Values(std::make_pair(4, 1), std::make_pair(4, 2),
+                      std::make_pair(5, 3), std::make_pair(6, 2),
+                      std::make_pair(7, 1), std::make_pair(8, 4),
+                      std::make_pair(10, 1), std::make_pair(12, 2)));
+
+TEST(CnfBuilder, AtMostZeroForcesAllFalse) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 4);
+  ASSERT_TRUE(cnf.at_most_k(vars, 0));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  for (const Lit l : vars) {
+    EXPECT_FALSE(s.model_value(l));
+  }
+}
+
+TEST(CnfBuilder, AtMostKAboveSizeIsNoOp) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 3);
+  ASSERT_TRUE(cnf.at_most_k(vars, 5));
+  EXPECT_EQ(cnf.aux_vars(), 0);
+  EXPECT_EQ(model_popcounts(s, vars).size(), 8u);
+}
+
+TEST(CnfBuilder, ExactlyOneEnumeration) {
+  for (const int n : {1, 2, 5, 9, 12}) {
+    SatSolver s;
+    CnfBuilder cnf(s);
+    const auto vars = make_vars(s, n);
+    ASSERT_TRUE(cnf.exactly_one(vars));
+    const auto counts = model_popcounts(s, vars);
+    EXPECT_EQ(counts.size(), static_cast<std::size_t>(n)) << n;
+    for (const int pop : counts) {
+      EXPECT_EQ(pop, 1);
+    }
+  }
+}
+
+TEST(CnfBuilder, AtMostOnePairwiseVsSequentialAgree) {
+  // n <= 8 uses pairwise, larger uses the counter; both must count models
+  // identically: n + 1 models (all-false plus n singletons).
+  for (const int n : {8, 9}) {
+    SatSolver s;
+    CnfBuilder cnf(s);
+    const auto vars = make_vars(s, n);
+    ASSERT_TRUE(cnf.at_most_one(vars));
+    EXPECT_EQ(model_popcounts(s, vars).size(),
+              static_cast<std::size_t>(n + 1));
+  }
+}
+
+TEST(CnfBuilder, ImpliesClause) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 3);
+  ASSERT_TRUE(cnf.implies_clause(vars[0], {vars[1], vars[2]}));
+  ASSERT_TRUE(s.add_unit(vars[0]));
+  ASSERT_TRUE(s.add_unit(~vars[1]));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  EXPECT_TRUE(s.model_value(vars[2]));
+}
+
+TEST(CnfBuilder, EquivOrBothDirections) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 3);
+  const Lit y = Lit::pos(s.new_var());
+  ASSERT_TRUE(cnf.equiv_or(y, {vars[0], vars[1], vars[2]}));
+  {
+    // y true forces some member true.
+    ASSERT_TRUE(s.add_unit(y));
+    ASSERT_TRUE(s.add_unit(~vars[0]));
+    ASSERT_TRUE(s.add_unit(~vars[1]));
+    ASSERT_EQ(s.solve(), SatStatus::kSat);
+    EXPECT_TRUE(s.model_value(vars[2]));
+  }
+  {
+    // member true forces y.
+    SatSolver s2;
+    CnfBuilder cnf2(s2);
+    const auto vars2 = make_vars(s2, 2);
+    const Lit y2 = Lit::pos(s2.new_var());
+    ASSERT_TRUE(cnf2.equiv_or(y2, {vars2[0], vars2[1]}));
+    ASSERT_TRUE(s2.add_unit(vars2[1]));
+    ASSERT_EQ(s2.solve(), SatStatus::kSat);
+    EXPECT_TRUE(s2.model_value(y2));
+  }
+}
+
+TEST(CnfBuilder, ForbidPair) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 2);
+  ASSERT_TRUE(cnf.forbid_pair(vars[0], vars[1]));
+  ASSERT_TRUE(s.add_unit(vars[0]));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  EXPECT_FALSE(s.model_value(vars[1]));
+}
+
+TEST(CnfBuilder, AuxVarAccounting) {
+  SatSolver s;
+  CnfBuilder cnf(s);
+  const auto vars = make_vars(s, 10);
+  ASSERT_TRUE(cnf.at_most_k(vars, 2));
+  // Sinz counter: (n-1)*k auxiliaries.
+  EXPECT_EQ(cnf.aux_vars(), 9 * 2);
+}
+
+}  // namespace
+}  // namespace monomap

@@ -1,0 +1,289 @@
+// Tests for the CDCL SAT solver and DIMACS I/O.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "support/rng.hpp"
+
+namespace monomap {
+namespace {
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), SatStatus::kSat);
+}
+
+TEST(SatSolver, SingleUnitClause) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  ASSERT_TRUE(s.add_unit(Lit::pos(x)));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  EXPECT_TRUE(s.model_value(x));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  ASSERT_TRUE(s.add_unit(Lit::pos(x)));
+  EXPECT_FALSE(s.add_unit(Lit::neg(x)));
+  EXPECT_EQ(s.solve(), SatStatus::kUnsat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  SatSolver s;
+  std::vector<SatVar> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i) {
+    ASSERT_TRUE(s.add_binary(Lit::neg(v[static_cast<std::size_t>(i)]),
+                             Lit::pos(v[static_cast<std::size_t>(i + 1)])));
+  }
+  ASSERT_TRUE(s.add_unit(Lit::pos(v[0])));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(s.model_value(v[static_cast<std::size_t>(i)])) << i;
+  }
+}
+
+TEST(SatSolver, XorChainSat) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, ..., satisfiable (alternating).
+  SatSolver s;
+  const int n = 20;
+  std::vector<SatVar> v;
+  for (int i = 0; i < n; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < n; ++i) {
+    const Lit a = Lit::pos(v[static_cast<std::size_t>(i)]);
+    const Lit b = Lit::pos(v[static_cast<std::size_t>(i + 1)]);
+    ASSERT_TRUE(s.add_binary(a, b));
+    ASSERT_TRUE(s.add_binary(~a, ~b));
+  }
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_NE(s.model_value(v[static_cast<std::size_t>(i)]),
+              s.model_value(v[static_cast<std::size_t>(i + 1)]));
+  }
+}
+
+TEST(SatSolver, TautologyIgnored) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  const SatVar y = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit::pos(x), Lit::neg(x), Lit::pos(y)}));
+  EXPECT_EQ(s.solve(), SatStatus::kSat);
+}
+
+TEST(SatSolver, DuplicateLiteralsCollapsed) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit::pos(x), Lit::pos(x), Lit::pos(x)}));
+  ASSERT_EQ(s.solve(), SatStatus::kSat);
+  EXPECT_TRUE(s.model_value(x));
+}
+
+/// Pigeonhole principle PHP(n+1, n): always UNSAT, classically hard-ish.
+CnfFormula pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  CnfFormula f;
+  auto var = [&](int p, int h) { return p * holes + h + 1; };
+  f.num_vars = pigeons * holes;
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    f.clauses.push_back(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.clauses.push_back({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  return f;
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    SatSolver s;
+    ASSERT_TRUE(load_into_solver(pigeonhole(holes), s)) << holes;
+    EXPECT_EQ(s.solve(), SatStatus::kUnsat) << "PHP(" << holes + 1 << ","
+                                            << holes << ")";
+  }
+}
+
+TEST(SatSolver, PigeonholeExactFitSat) {
+  // n pigeons in n holes is satisfiable.
+  const int n = 5;
+  CnfFormula f;
+  auto var = [&](int p, int h) { return p * n + h + 1; };
+  f.num_vars = n * n;
+  for (int p = 0; p < n; ++p) {
+    std::vector<int> clause;
+    for (int h = 0; h < n; ++h) clause.push_back(var(p, h));
+    f.clauses.push_back(clause);
+  }
+  for (int h = 0; h < n; ++h) {
+    for (int p1 = 0; p1 < n; ++p1) {
+      for (int p2 = p1 + 1; p2 < n; ++p2) {
+        f.clauses.push_back({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  SatSolver s;
+  ASSERT_TRUE(load_into_solver(f, s));
+  EXPECT_EQ(s.solve(), SatStatus::kSat);
+}
+
+TEST(SatSolver, IncrementalBlockingClauseEnumeration) {
+  // 3 free variables -> 8 models; enumerate all by blocking.
+  SatSolver s;
+  std::vector<SatVar> v{s.new_var(), s.new_var(), s.new_var()};
+  int models = 0;
+  while (s.solve() == SatStatus::kSat) {
+    ++models;
+    ASSERT_LE(models, 8);
+    std::vector<Lit> block;
+    for (const SatVar x : v) {
+      block.push_back(Lit(x, s.model_value(x)));  // negate current model
+    }
+    if (!s.add_clause(block)) break;
+  }
+  EXPECT_EQ(models, 8);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  SatSolver s;
+  ASSERT_TRUE(load_into_solver(pigeonhole(8), s));
+  const SatStatus status = s.solve(Deadline::unlimited(), 10);
+  EXPECT_EQ(status, SatStatus::kUnknown);
+}
+
+TEST(SatSolver, DeadlineReturnsUnknownOrSolves) {
+  SatSolver s;
+  ASSERT_TRUE(load_into_solver(pigeonhole(9), s));
+  const SatStatus status = s.solve(Deadline(0.001));
+  // Tiny budget: either it finished very fast or reports unknown.
+  EXPECT_NE(status, SatStatus::kSat);
+}
+
+/// Check a model satisfies a formula.
+bool satisfies(const CnfFormula& f, const SatSolver& s) {
+  for (const auto& clause : f.clauses) {
+    bool sat = false;
+    for (const int lit : clause) {
+      const SatVar v = (lit > 0 ? lit : -lit) - 1;
+      if (s.model_value(v) == (lit > 0)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+/// Random 3-SAT at clause/var ratio r; DPLL cross-check via brute force for
+/// small n.
+CnfFormula random_3sat(int num_vars, int num_clauses, Rng& rng) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> clause;
+    while (clause.size() < 3) {
+      const int v = static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(num_vars))) + 1;
+      const int lit = rng.next_bool(0.5) ? v : -v;
+      if (std::find(clause.begin(), clause.end(), lit) == clause.end() &&
+          std::find(clause.begin(), clause.end(), -lit) == clause.end()) {
+        clause.push_back(lit);
+      }
+    }
+    f.clauses.push_back(clause);
+  }
+  return f;
+}
+
+bool brute_force_sat(const CnfFormula& f) {
+  const int n = f.num_vars;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    bool all = true;
+    for (const auto& clause : f.clauses) {
+      bool sat = false;
+      for (const int lit : clause) {
+        const int v = (lit > 0 ? lit : -lit) - 1;
+        const bool val = ((mask >> v) & 1) != 0;
+        if (val == (lit > 0)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class Random3SatVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3SatVsBruteForce, AgreesWithExhaustiveCheck) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int num_vars = 10;
+  // Sweep the phase-transition region where both outcomes occur.
+  const int num_clauses = 30 + GetParam() % 25;
+  const CnfFormula f = random_3sat(num_vars, num_clauses, rng);
+  SatSolver s;
+  const bool loaded = load_into_solver(f, s);
+  const bool expected = brute_force_sat(f);
+  if (!loaded) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  const SatStatus status = s.solve();
+  ASSERT_NE(status, SatStatus::kUnknown);
+  EXPECT_EQ(status == SatStatus::kSat, expected);
+  if (status == SatStatus::kSat) {
+    EXPECT_TRUE(satisfies(f, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatVsBruteForce,
+                         ::testing::Range(0, 40));
+
+TEST(SatSolver, StatsAccumulate) {
+  SatSolver s;
+  ASSERT_TRUE(load_into_solver(pigeonhole(5), s));
+  ASSERT_EQ(s.solve(), SatStatus::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().decisions, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+TEST(Dimacs, RoundTrip) {
+  const std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+  const CnfFormula f = parse_dimacs(text);
+  EXPECT_EQ(f.num_vars, 3);
+  ASSERT_EQ(f.clauses.size(), 2u);
+  EXPECT_EQ(f.clauses[0], (std::vector<int>{1, -2}));
+  const CnfFormula g = parse_dimacs(to_dimacs(f));
+  EXPECT_EQ(g.clauses, f.clauses);
+  EXPECT_EQ(g.num_vars, f.num_vars);
+}
+
+TEST(Dimacs, HeaderlessInputInfersVarCount) {
+  const CnfFormula f = parse_dimacs("1 2 0 -2 3 0");
+  EXPECT_EQ(f.num_vars, 3);
+  EXPECT_EQ(f.clauses.size(), 2u);
+}
+
+TEST(Dimacs, MissingTerminatorThrows) {
+  EXPECT_THROW(parse_dimacs("1 2"), AssertionError);
+}
+
+}  // namespace
+}  // namespace monomap

@@ -1,0 +1,143 @@
+// Tests for the support utilities: assertions, RNG, stopwatch/deadline,
+// tables and CSV.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace monomap {
+namespace {
+
+TEST(Assert, ThrowsWithLocationAndMessage) {
+  try {
+    MONOMAP_ASSERT_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Assert, PassesSilently) {
+  EXPECT_NO_THROW(MONOMAP_ASSERT(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedDrawsStayInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_THROW(rng.next_below(0), AssertionError);
+}
+
+TEST(Rng, UniformityRoughCheck) {
+  Rng rng(99);
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++buckets[rng.next_below(4)];
+  }
+  for (const int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+TEST(Mix64, StableHash) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch w;
+  const double a = w.elapsed_s();
+  const double b = w.elapsed_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  w.restart();
+  EXPECT_GE(w.elapsed_s(), 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_s(), 1e9);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d(0.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_s(), 0.0);
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+}
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), AssertionError);
+}
+
+TEST(FormatTime, PaperStyle) {
+  EXPECT_EQ(format_time_s(0.004), "~0.01");   // the paper's "~0.01"
+  EXPECT_EQ(format_time_s(0.42), "0.42");
+  EXPECT_EQ(format_time_s(223.514), "223.51");
+  EXPECT_EQ(format_time_s(-1.0), "TO");       // timeout marker
+}
+
+TEST(FormatFixed, Digits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(10288.8949, 2), "10288.89");
+}
+
+TEST(Csv, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+}  // namespace
+}  // namespace monomap

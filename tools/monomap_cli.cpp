@@ -1,0 +1,239 @@
+// monomap — command-line driver for the mapping toolchain.
+//
+//   monomap list
+//       List the built-in benchmark suite with structural stats.
+//   monomap show <bench|file.dfg>
+//       Print DFG stats, ASAP/ALAP/MobS table and DOT.
+//   monomap map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]
+//               [--timeout S] [--mapper decoupled|coupled|anneal]
+//               [--restricted] [--out mapping.txt]
+//       Compile a DFG and print (or save) the mapping.
+//   monomap check <bench|file.dfg> <mapping.txt> [--grid N] [...]
+//       Validate a saved mapping against a DFG and architecture.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/dot.hpp"
+#include "io/dfg_io.hpp"
+#include "mapper/annealing_mapper.hpp"
+#include "mapper/coupled_mapper.hpp"
+#include "mapper/decoupled_mapper.hpp"
+#include "mapper/reg_pressure.hpp"
+#include "sched/mobility.hpp"
+#include "support/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace monomap;
+
+struct CliOptions {
+  int grid = 4;
+  Topology topology = Topology::kMesh;
+  double timeout_s = 30.0;
+  std::string mapper = "decoupled";
+  bool restricted = false;
+  std::string out;
+};
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: monomap <command> [args]\n"
+      "  list\n"
+      "  show <bench|file.dfg>\n"
+      "  map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]\n"
+      "      [--timeout S] [--mapper decoupled|coupled|anneal]\n"
+      "      [--restricted] [--out FILE]\n"
+      "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
+  std::exit(2);
+}
+
+Dfg load_dfg(const std::string& spec) {
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".dfg") {
+    std::ifstream in(spec);
+    if (!in) {
+      std::cerr << "cannot open " << spec << '\n';
+      std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return dfg_from_text(buffer.str());
+  }
+  return benchmark_by_name(spec).dfg;
+}
+
+CliOptions parse_flags(int argc, char** argv, int first) {
+  CliOptions opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      opt.grid = std::atoi(value().c_str());
+    } else if (arg == "--topology") {
+      const std::string t = value();
+      if (t == "mesh") opt.topology = Topology::kMesh;
+      else if (t == "torus") opt.topology = Topology::kTorus;
+      else if (t == "diagonal") opt.topology = Topology::kDiagonal;
+      else usage();
+    } else if (arg == "--timeout") {
+      opt.timeout_s = std::atof(value().c_str());
+    } else if (arg == "--mapper") {
+      opt.mapper = value();
+    } else if (arg == "--restricted") {
+      opt.restricted = true;
+    } else if (arg == "--out") {
+      opt.out = value();
+    } else {
+      usage();
+    }
+  }
+  if (opt.grid < 1) usage();
+  return opt;
+}
+
+int cmd_list() {
+  AsciiTable table({"Benchmark", "Nodes", "Edges", "RecII", "MaxDeg",
+                    "Paper II (2/5/10/20)"});
+  for (const Benchmark& b : benchmark_suite()) {
+    std::ostringstream ii;
+    for (std::size_t g = 0; g < b.paper_ii.size(); ++g) {
+      if (g != 0) ii << '/';
+      if (b.paper_ii[g] < 0) ii << "TO";
+      else ii << b.paper_ii[g];
+    }
+    table.add_row({b.name, std::to_string(b.dfg.num_nodes()),
+                   std::to_string(b.dfg.num_edges()),
+                   std::to_string(b.paper_rec_ii),
+                   std::to_string(b.dfg.max_undirected_degree()), ii.str()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_show(const std::string& spec) {
+  const Dfg dfg = load_dfg(spec);
+  std::cout << "DFG '" << dfg.name() << "': " << dfg.num_nodes()
+            << " nodes, " << dfg.num_edges() << " edges, max degree "
+            << dfg.max_undirected_degree() << "\n\n";
+  const MobilitySchedule mobs(dfg);
+  std::cout << mobs.to_table() << '\n'
+            << to_dot(dfg.graph(), dfg.name());
+  return 0;
+}
+
+int cmd_map(const std::string& spec, const CliOptions& opt) {
+  const Dfg dfg = load_dfg(spec);
+  const CgraArch arch(opt.grid, opt.grid, opt.topology);
+  std::cout << "mapping '" << dfg.name() << "' onto " << arch.description()
+            << " with " << opt.mapper << " mapper\n";
+
+  std::optional<Mapping> mapping;
+  int ii = 0;
+  double seconds = 0.0;
+  if (opt.mapper == "decoupled") {
+    DecoupledMapperOptions mopt;
+    mopt.timeout_s = opt.timeout_s;
+    if (opt.restricted) {
+      mopt.space.model = MrrgModel::kConsecutiveOnly;
+    }
+    const MapResult r = DecoupledMapper(mopt).map(dfg, arch);
+    if (r.success) {
+      mapping = r.mapping;
+      ii = r.ii;
+    } else {
+      std::cerr << "failed: " << r.failure_reason << '\n';
+    }
+    seconds = r.total_s;
+  } else if (opt.mapper == "coupled") {
+    CoupledMapperOptions mopt;
+    mopt.timeout_s = opt.timeout_s;
+    const CoupledMapResult r = CoupledSatMapper(mopt).map(dfg, arch);
+    if (r.success) {
+      mapping = r.mapping;
+      ii = r.ii;
+    } else {
+      std::cerr << "failed: " << r.failure_reason << '\n';
+    }
+    seconds = r.total_s;
+  } else if (opt.mapper == "anneal") {
+    AnnealingOptions mopt;
+    mopt.timeout_s = opt.timeout_s;
+    const AnnealResult r = AnnealingMapper(mopt).map(dfg, arch);
+    if (r.success) {
+      mapping = r.mapping;
+      ii = r.ii;
+    } else {
+      std::cerr << "failed: " << r.failure_reason << '\n';
+    }
+    seconds = r.total_s;
+  } else {
+    usage();
+  }
+  if (!mapping.has_value()) return 1;
+
+  std::cout << "II=" << ii << " in " << format_time_s(seconds) << " s\n"
+            << mapping_to_string(dfg, arch, *mapping)
+            << analyze_register_pressure(dfg, arch, *mapping).to_string()
+            << '\n';
+  if (!opt.out.empty()) {
+    std::ofstream out(opt.out);
+    out << mapping_to_text(dfg, *mapping);
+    std::cout << "mapping written to " << opt.out << '\n';
+  }
+  return 0;
+}
+
+int cmd_check(const std::string& spec, const std::string& mapping_file,
+              const CliOptions& opt) {
+  const Dfg dfg = load_dfg(spec);
+  const CgraArch arch(opt.grid, opt.grid, opt.topology);
+  std::ifstream in(mapping_file);
+  if (!in) {
+    std::cerr << "cannot open " << mapping_file << '\n';
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Mapping mapping =
+      mapping_from_text(buffer.str(), dfg.num_nodes());
+  const auto violations = validate_mapping(
+      dfg, arch, mapping,
+      opt.restricted ? MrrgModel::kConsecutiveOnly
+                     : MrrgModel::kRegisterPersistence);
+  if (violations.empty()) {
+    std::cout << "mapping is valid (II=" << mapping.ii() << ")\n";
+    return 0;
+  }
+  for (const auto& v : violations) {
+    std::cerr << "violation: " << v.what << '\n';
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "show" && argc >= 3) return cmd_show(argv[2]);
+    if (cmd == "map" && argc >= 3) {
+      return cmd_map(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (cmd == "check" && argc >= 4) {
+      return cmd_check(argv[2], argv[3], parse_flags(argc, argv, 4));
+    }
+  } catch (const monomap::AssertionError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  usage();
+}
