@@ -37,8 +37,17 @@ int main(int argc, char** argv) {
     configs.push_back(c);
   }
   {
+    // The forward-check toggle only exists in the reference engine (the
+    // bitset engine's propagation subsumes it), so both rows of that
+    // comparison pin the engine.
+    Config ref;
+    ref.name = "connectivity/reference";
+    ref.options.engine = SpaceEngine::kReference;
+    ref.options.order = SpaceOrder::kConnectivity;
+    configs.push_back(ref);
     Config c;
-    c.name = "connectivity/no-fwd";
+    c.name = "connectivity/ref-no-fwd";
+    c.options.engine = SpaceEngine::kReference;
     c.options.order = SpaceOrder::kConnectivity;
     c.options.forward_check = false;
     configs.push_back(c);
@@ -46,6 +55,10 @@ int main(int argc, char** argv) {
     d.name = "mrv/no-sym";
     d.options.symmetry_breaking = false;
     configs.push_back(d);
+    Config e;
+    e.name = "mrv/reference";
+    e.options.engine = SpaceEngine::kReference;
+    configs.push_back(e);
   }
 
   // Collect one schedule per benchmark (shared across configs for fairness).

@@ -1,10 +1,22 @@
-// Micro-benchmark A5: monomorphism-search scaling (google-benchmark).
+// Micro-benchmark A5: monomorphism-search scaling.
 //
-// The paper's space phase stays cheap as the grid grows because candidate
-// neighbourhoods are constant-size; this tracks search time vs grid side
-// and vs DFG size on schedule-realistic inputs.
+// Two modes:
+//  * default — google-benchmark timings of search time vs grid side and vs
+//    DFG size on schedule-realistic inputs (the paper's space phase stays
+//    cheap as the grid grows because candidate neighbourhoods are
+//    constant-size);
+//  * --json [--grid N] [--repeats R] — machine-readable engine comparison
+//    over the whole workload suite (suite, grid, II, seconds,
+//    nodes_expanded, backtracks per engine, plus a portfolio-vs-single
+//    section), recorded in BENCH_space.json to track the perf trajectory
+//    across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+
+#include "bench_json.hpp"
+#include "mapper/decoupled_mapper.hpp"
 #include "space/monomorphism.hpp"
 #include "timing/time_solver.hpp"
 #include "workloads/suite.hpp"
@@ -13,6 +25,8 @@
 namespace {
 
 using namespace monomap;
+using monomap::bench::JsonWriter;
+using monomap::bench::median;
 
 struct Prepared {
   const Dfg* dfg;
@@ -70,6 +84,25 @@ void BM_MonoVsDfgSize(benchmark::State& state) {
 }
 BENCHMARK(BM_MonoVsDfgSize)->Arg(16)->Arg(32)->Arg(64);
 
+void BM_MonoEngineComparison(benchmark::State& state) {
+  // bitset (Arg 0) vs reference (Arg 1) on the same schedule.
+  const CgraArch arch = CgraArch::square(8);
+  const Benchmark& b = benchmark_by_name("fft");
+  const Prepared p = prepare(b.dfg, arch);
+  if (p.labels.empty()) {
+    state.SkipWithError("no schedule");
+    return;
+  }
+  SpaceOptions opt;
+  opt.engine = state.range(0) == 0 ? SpaceEngine::kBitset
+                                   : SpaceEngine::kReference;
+  for (auto _ : state) {
+    const SpaceResult r = find_monomorphism(*p.dfg, arch, p.labels, p.ii, opt);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_MonoEngineComparison)->Arg(0)->Arg(1);
+
 void BM_MonoHardestSuiteCase(benchmark::State& state) {
   // hotspot3D is the suite's widest DFG and the paper's space-timeout case.
   const CgraArch arch = CgraArch::square(static_cast<int>(state.range(0)));
@@ -104,6 +137,120 @@ void BM_MonoHardestSuiteCase(benchmark::State& state) {
 }
 BENCHMARK(BM_MonoHardestSuiteCase)->Arg(5)->Arg(10);
 
+// --- --json mode -----------------------------------------------------------
+
+/// Per-(benchmark, engine) record: median-of-repeats search time plus the
+/// effort counters of the last run (deterministic, so identical each run).
+void run_json_mode(int grid, int repeats) {
+  const CgraArch arch = CgraArch::square(grid);
+  JsonWriter json(std::cout);
+  json.begin_object();
+  json.field("bench", "bench_micro_space");
+  json.field("grid", grid);
+  json.field("topology", topology_name(arch.topology()));
+  json.field("repeats", repeats);
+
+  std::vector<double> ratios;
+  json.key("space");
+  json.begin_array();
+  for (const Benchmark& b : benchmark_suite()) {
+    const Prepared p = prepare(b.dfg, arch);
+    if (p.labels.empty()) continue;
+    double bitset_median = 0.0;
+    for (const SpaceEngine engine :
+         {SpaceEngine::kBitset, SpaceEngine::kReference}) {
+      SpaceOptions opt;
+      opt.engine = engine;
+      std::vector<double> seconds;
+      SpaceResult last;
+      for (int r = 0; r < repeats; ++r) {
+        last = find_monomorphism(*p.dfg, arch, p.labels, p.ii, opt);
+        seconds.push_back(last.seconds);
+      }
+      const double med = median(seconds);
+      if (engine == SpaceEngine::kBitset) {
+        bitset_median = med;
+      } else if (bitset_median > 0.0) {
+        ratios.push_back(med / bitset_median);
+      }
+      json.begin_object();
+      json.field("suite", b.name);
+      json.field("engine", to_string(engine));
+      json.field("ii", p.ii);
+      json.field("found", last.found);
+      json.field("seconds", med);
+      json.field("nodes_expanded", last.nodes_expanded);
+      json.field("backtracks", last.backtracks);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  // Portfolio vs the best single configuration, full decoupled solves.
+  json.key("portfolio");
+  json.begin_array();
+  for (const Benchmark& b : benchmark_suite()) {
+    DecoupledMapperOptions opt;
+    opt.timeout_s = 30.0;
+    const DecoupledMapper mapper(opt);
+    std::vector<double> single_s;
+    std::vector<double> racing_s;
+    MapResult single;
+    MapResult racing;
+    for (int r = 0; r < repeats; ++r) {
+      // Both sides on the same basis: full wall-clock around the call
+      // (thread spawn/join and validation included).
+      Stopwatch single_wall;
+      single = mapper.map(b.dfg, arch);
+      single_s.push_back(single_wall.elapsed_s());
+      Stopwatch racing_wall;
+      racing = mapper.map_portfolio(b.dfg, arch);
+      racing_s.push_back(racing_wall.elapsed_s());
+    }
+    // No winner_config field, and ii comes from the deterministic single
+    // solve: the threaded race's winner (and thus its II) is scheduling-
+    // dependent, and this record is diffed across PRs.
+    json.begin_object();
+    json.field("suite", b.name);
+    json.field("single_success", single.success);
+    json.field("single_s", median(single_s));
+    json.field("portfolio_success", racing.success);
+    json.field("portfolio_s", median(racing_s));
+    json.field("ii", single.success ? single.ii : -1);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("summary");
+  json.begin_object();
+  json.field("median_speedup_reference_over_bitset", median(ratios));
+  json.end_object();
+  json.end_object();
+  std::cout << '\n';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int grid = 8;
+  int repeats = 5;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+      grid = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[i + 1]);
+    }
+  }
+  if (json) {
+    run_json_mode(std::max(grid, 1), std::max(repeats, 1));
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,16 +4,18 @@
 // coupled SAT-MapIt-style baseline; report ΔT, the compilation-time ratio
 // (CTR) and the achieved II against the paper's values.
 //
-// Usage: bench_table3 [--grids 2,5,10,20] [--timeout S]
+// Usage: bench_table3 [--grids 2,5,10,20] [--timeout S] [--json]
 // Env:   MONOMAP_TIMEOUT_S overrides the per-solve timeout (paper: 4000 s).
 //
 // Averages follow the paper's convention: rows where either tool timed out
-// are excluded from the ΔT / CTR averages.
+// are excluded from the ΔT / CTR averages. --json swaps the ASCII tables
+// for machine-readable records (one object per (grid, benchmark) row).
 #include <algorithm>
 #include <iostream>
 #include <string>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "mapper/coupled_mapper.hpp"
 #include "mapper/decoupled_mapper.hpp"
 #include "support/table.hpp"
@@ -25,19 +27,32 @@ int main(int argc, char** argv) {
 
   std::vector<int> grids(kPaperGridSizes.begin(), kPaperGridSizes.end());
   double timeout = timeout_s();
-  for (int i = 1; i + 1 < argc; ++i) {
+  bool json_mode = false;
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--grids") grids = parse_grids(argv[i + 1]);
-    if (arg == "--timeout") timeout = std::atof(argv[i + 1]);
+    if (arg == "--grids" && i + 1 < argc) grids = parse_grids(argv[i + 1]);
+    if (arg == "--timeout" && i + 1 < argc) timeout = std::atof(argv[i + 1]);
+    if (arg == "--json") json_mode = true;
   }
 
-  std::cout << "Table III reproduction — per-solve timeout " << timeout
-            << " s (paper: 4000 s; set MONOMAP_TIMEOUT_S to raise)\n";
+  JsonWriter json(std::cout);
+  if (json_mode) {
+    json.begin_object();
+    json.field("bench", "bench_table3");
+    json.field("timeout_s", timeout);
+    json.key("rows");
+    json.begin_array();
+  } else {
+    std::cout << "Table III reproduction — per-solve timeout " << timeout
+              << " s (paper: 4000 s; set MONOMAP_TIMEOUT_S to raise)\n";
+  }
 
   for (const int side : grids) {
     const CgraArch arch = CgraArch::square(side);
-    std::cout << "\n=== " << side << "x" << side << " CGRA ("
-              << arch.num_pes() << " PEs) ===\n";
+    if (!json_mode) {
+      std::cout << "\n=== " << side << "x" << side << " CGRA ("
+                << arch.num_pes() << " PEs) ===\n";
+    }
     AsciiTable table({"Benchmark", "Nodes", "Time", "Space", "Baseline",
                       "dT", "CTR", "II", "II(paper)", "mII", "mII(paper)"});
     double sum_mono = 0.0;
@@ -89,6 +104,29 @@ int main(int argc, char** argv) {
                             std::max(mono.total_s, 1e-4);
         ++censored_rows;
       }
+      if (json_mode) {
+        json.begin_object();
+        json.field("grid", side);
+        json.field("suite", b.name);
+        json.field("nodes", b.dfg.num_nodes());
+        json.field("decoupled_success", !mono_to);
+        json.field("time_phase_s", mono.time_phase_s);
+        json.field("space_phase_s", mono.space_phase_s);
+        json.field("total_s", mono.total_s);
+        json.field("schedules_tried", mono.schedules_tried);
+        json.field("space_nodes_expanded", mono.last_space.nodes_expanded);
+        json.field("space_backtracks", mono.last_space.backtracks);
+        json.field("baseline_success", !base_to);
+        json.field("baseline_s", base.total_s);
+        json.field("ii", mono_to ? -1 : mono.ii);
+        json.field("mii", mono.mii.mii());
+        if (paper_grid) {
+          json.field("paper_ii", b.paper_ii[grid_index]);
+          json.field("paper_mii", b.paper_mii[grid_index]);
+        }
+        json.end_object();
+        continue;  // the ASCII table is never printed in --json mode
+      }
       table.add_row(
           {b.name, std::to_string(b.dfg.num_nodes()),
            mono_to ? "TO" : format_time_s(mono.time_phase_s),
@@ -102,6 +140,7 @@ int main(int argc, char** argv) {
            std::to_string(mono.mii.mii()),
            paper_grid ? std::to_string(b.paper_mii[grid_index]) : "-"});
     }
+    if (json_mode) continue;
     table.add_separator();
     table.add_row({"Average (no-TO rows)", "-",
                    complete_rows ? format_fixed(sum_mono / complete_rows, 3)
@@ -130,6 +169,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "\npaper averages: 2x2: 30.85x, 5x5: 103.76x, 10x10: 887.84x,"
                  " 20x20: 10288.89x (4000 s timeout)\n";
+  }
+  if (json_mode) {
+    json.end_array();
+    json.end_object();
+    std::cout << '\n';
   }
   return 0;
 }

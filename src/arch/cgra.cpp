@@ -61,12 +61,19 @@ CgraArch::CgraArch(int rows, int cols, Topology topology)
     std::sort(closed.begin(), closed.end());
     degree_ = std::max(degree_, static_cast<int>(closed.size()));
   }
-}
 
-bool CgraArch::adjacent(PeId a, PeId b) const {
-  MONOMAP_ASSERT(has_pe(a) && has_pe(b));
-  const auto& list = neighbors_[static_cast<std::size_t>(a)];
-  return std::binary_search(list.begin(), list.end(), b);
+  neighbor_masks_.reserve(static_cast<std::size_t>(n));
+  closed_neighbor_masks_.reserve(static_cast<std::size_t>(n));
+  for (PeId pe = 0; pe < n; ++pe) {
+    PeSet open(n);
+    for (const PeId q : neighbors_[static_cast<std::size_t>(pe)]) {
+      open.set(q);
+    }
+    PeSet closed = open;
+    closed.set(pe);
+    neighbor_masks_.push_back(std::move(open));
+    closed_neighbor_masks_.push_back(std::move(closed));
+  }
 }
 
 std::string CgraArch::description() const {

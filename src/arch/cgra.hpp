@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/pe_set.hpp"
 
 namespace monomap {
 
@@ -64,11 +65,29 @@ class CgraArch {
     return closed_neighbors_[static_cast<std::size_t>(pe)];
   }
 
-  [[nodiscard]] bool adjacent(PeId a, PeId b) const;
+  /// Bitset view of neighbors(pe) (capacity == num_pes). The space search
+  /// intersects these masks to filter whole candidate domains per operation
+  /// instead of probing adjacency per PE pair.
+  [[nodiscard]] const PeSet& neighbor_mask(PeId pe) const {
+    MONOMAP_ASSERT(has_pe(pe));
+    return neighbor_masks_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Bitset view of closed_neighbors(pe).
+  [[nodiscard]] const PeSet& closed_neighbor_mask(PeId pe) const {
+    MONOMAP_ASSERT(has_pe(pe));
+    return closed_neighbor_masks_[static_cast<std::size_t>(pe)];
+  }
+
+  [[nodiscard]] bool adjacent(PeId a, PeId b) const {
+    MONOMAP_ASSERT(has_pe(a) && has_pe(b));
+    return neighbor_masks_[static_cast<std::size_t>(a)].test(b);
+  }
 
   /// adjacent(a,b) || a == b.
   [[nodiscard]] bool adjacent_or_same(PeId a, PeId b) const {
-    return a == b || adjacent(a, b);
+    MONOMAP_ASSERT(has_pe(a) && has_pe(b));
+    return closed_neighbor_masks_[static_cast<std::size_t>(a)].test(b);
   }
 
   /// The paper's connectivity degree D_M: the maximum closed-neighbourhood
@@ -84,6 +103,8 @@ class CgraArch {
   int degree_ = 0;
   std::vector<std::vector<PeId>> neighbors_;
   std::vector<std::vector<PeId>> closed_neighbors_;
+  std::vector<PeSet> neighbor_masks_;
+  std::vector<PeSet> closed_neighbor_masks_;
 };
 
 }  // namespace monomap

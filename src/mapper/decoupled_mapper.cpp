@@ -1,17 +1,25 @@
 #include "mapper/decoupled_mapper.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
 
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 namespace monomap {
 
 MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
-  MapResult result;
   const Deadline deadline = options_.timeout_s > 0
                                 ? Deadline(options_.timeout_s)
                                 : Deadline::unlimited();
+  return map(dfg, arch, deadline);
+}
+
+MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
+                               const Deadline& deadline) const {
+  MapResult result;
   TimeSolverOptions time_options = options_.time;
   if (options_.space.model == MrrgModel::kConsecutiveOnly) {
     // Restricted interconnect: keep the time search consistent with the
@@ -24,6 +32,7 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
 
   Stopwatch phase;
   int failures_at_current_ii = 0;
+  int last_ii = -1;
   for (;;) {
     phase.restart();
     const std::optional<TimeSolution> schedule = time_solver.next(deadline);
@@ -36,6 +45,12 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
       break;
     }
     ++result.schedules_tried;
+    if (schedule->ii != last_ii) {
+      // The time solver escalates II on its own when an II's schedules are
+      // exhausted; the new II's first schedule gets the full search effort.
+      failures_at_current_ii = 0;
+      last_ii = schedule->ii;
+    }
 
     std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
     for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
@@ -96,6 +111,95 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
   result.time_stats = time_solver.stats();
   result.total_s = result.time_phase_s + result.space_phase_s;
   return result;
+}
+
+std::vector<SpaceOptions> default_portfolio_configs(const SpaceOptions& base) {
+  // Diverse variable orders first (they explore genuinely different trees),
+  // then a no-symmetry variant: on rare instances the canonical-octant
+  // restriction steers the first placement away from the only easy region.
+  std::vector<SpaceOptions> configs;
+  for (const SpaceOrder order :
+       {SpaceOrder::kDynamicMrv, SpaceOrder::kConnectivity,
+        SpaceOrder::kDegree}) {
+    SpaceOptions c = base;
+    c.order = order;
+    configs.push_back(c);
+  }
+  SpaceOptions no_sym = base;
+  no_sym.order = SpaceOrder::kDynamicMrv;
+  no_sym.symmetry_breaking = false;
+  configs.push_back(no_sym);
+  return configs;
+}
+
+MapResult DecoupledMapper::map_portfolio(const Dfg& dfg, const CgraArch& arch,
+                                         const PortfolioOptions& portfolio) const {
+  const std::vector<SpaceOptions> configs =
+      portfolio.configs.empty() ? default_portfolio_configs(options_.space)
+                                : portfolio.configs;
+  const int num_configs = static_cast<int>(configs.size());
+  MONOMAP_ASSERT(num_configs > 0);
+
+  CancelToken winner_found;
+  // One shared budget for the whole race: copies of `base` share the same
+  // start instant and all observe the first-win token.
+  const Deadline base(options_.timeout_s > 0
+                          ? options_.timeout_s
+                          : std::numeric_limits<double>::infinity(),
+                      &winner_found);
+
+  std::vector<MapResult> results(static_cast<std::size_t>(num_configs));
+  auto run_config = [&](int index) {
+    // A win (or expiry) skips the configurations still waiting for a
+    // thread; in sequential mode this is the early exit.
+    if (base.expired()) return;
+    DecoupledMapperOptions opt = options_;
+    opt.space = configs[static_cast<std::size_t>(index)];
+    MapResult r = DecoupledMapper(opt).map(dfg, arch, base);
+    r.portfolio_config = index;
+    // Only a win ends the race. A failure is not definitive even with
+    // timed_out == false: the mapper truncates per-schedule space searches
+    // with backtrack budgets (without flagging the overall result), so a
+    // configuration with a different variable order may still succeed.
+    if (r.success) {
+      winner_found.cancel();
+    }
+    results[static_cast<std::size_t>(index)] = std::move(r);
+  };
+  parallel_for_indices(num_configs, portfolio.num_threads, run_config);
+
+  // First-win: lowest-index success (in the threaded race every loser was
+  // cancelled moments after the winner finished, so any success is "the"
+  // winner up to scheduling noise; picking the lowest index keeps the
+  // reduction deterministic given the same set of successes).
+  for (MapResult& r : results) {
+    if (r.success) return std::move(r);
+  }
+  // All failed: prefer a definitive exhaustion over a cancelled/timed-out
+  // racer, else fall back to the first configuration's result.
+  for (MapResult& r : results) {
+    if (r.portfolio_config >= 0 && !r.timed_out &&
+        !r.failure_reason.empty()) {
+      return std::move(r);
+    }
+  }
+  for (MapResult& r : results) {
+    if (r.portfolio_config >= 0) return std::move(r);
+  }
+  MapResult none;
+  none.failure_reason = "portfolio: no configuration ran before the deadline";
+  none.timed_out = true;
+  return none;
+}
+
+std::vector<MapResult> DecoupledMapper::map_batch(
+    const std::vector<const Dfg*>& dfgs, const CgraArch& arch,
+    int num_threads) const {
+  std::vector<MapResult> results(dfgs.size());
+  parallel_for_indices(
+      static_cast<int>(dfgs.size()), num_threads,
+      [&](int i) { results[static_cast<std::size_t>(i)] = map(*dfgs[static_cast<std::size_t>(i)], arch); });
+  return results;
 }
 
 }  // namespace monomap

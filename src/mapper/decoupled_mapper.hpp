@@ -32,6 +32,23 @@ struct DecoupledMapperOptions {
   int max_space_retries_per_ii = 8;
 };
 
+/// Parallel-portfolio configuration: race several space-search
+/// configurations for the same DFG and take the first valid mapping.
+struct PortfolioOptions {
+  /// Space configurations to race. Empty = a built-in diverse set
+  /// (dynamic-MRV / connectivity / degree orders, symmetry on/off); see
+  /// default_portfolio_configs().
+  std::vector<SpaceOptions> configs;
+  /// Worker threads: 0 = one per configuration (capped at hardware
+  /// concurrency), 1 = run configurations sequentially in order — fully
+  /// deterministic, used by tests.
+  int num_threads = 0;
+};
+
+/// The built-in portfolio: diverse variable orders and symmetry settings
+/// seeded from `base` (engine/model/budget are inherited from it).
+std::vector<SpaceOptions> default_portfolio_configs(const SpaceOptions& base);
+
 struct MapResult {
   bool success = false;
   bool timed_out = false;
@@ -45,6 +62,9 @@ struct MapResult {
   std::string failure_reason;
   TimeSolverStats time_stats;
   SpaceResult last_space;
+  /// Which portfolio configuration produced this result (-1 when the result
+  /// did not come from map_portfolio).
+  int portfolio_config = -1;
 };
 
 class DecoupledMapper {
@@ -55,6 +75,26 @@ class DecoupledMapper {
   /// Map `dfg` onto `arch`. The returned mapping (on success) always passes
   /// validate_mapping — this is asserted internally.
   MapResult map(const Dfg& dfg, const CgraArch& arch) const;
+
+  /// Like map(), but under an externally supplied deadline (which may carry
+  /// a CancelToken). options_.timeout_s is ignored.
+  MapResult map(const Dfg& dfg, const CgraArch& arch,
+                const Deadline& deadline) const;
+
+  /// Race several space configurations for the same DFG across threads;
+  /// the first valid mapping wins and cancels the rest (atomic first-win
+  /// token observed through each racer's Deadline). With
+  /// portfolio.num_threads == 1 the configurations run sequentially in
+  /// order, which makes the result deterministic.
+  MapResult map_portfolio(const Dfg& dfg, const CgraArch& arch,
+                          const PortfolioOptions& portfolio = {}) const;
+
+  /// Map a whole batch of DFGs across `num_threads` worker threads
+  /// (0 = hardware concurrency). Results are positionally aligned with
+  /// `dfgs`; each solve gets its own options_.timeout_s budget.
+  std::vector<MapResult> map_batch(const std::vector<const Dfg*>& dfgs,
+                                   const CgraArch& arch,
+                                   int num_threads = 0) const;
 
  private:
   DecoupledMapperOptions options_;

@@ -143,6 +143,13 @@ struct SatSolver::Impl {
   // analyze() scratch
   std::vector<bool> seen;
   std::vector<Lit> analyze_stack;
+  std::vector<Lit> learnt_scratch;  // reused across conflicts in search()
+
+  // compute_lbd() scratch: level -> id of the last conflict that touched it.
+  // Bumping the id each call makes "have I counted this level yet?" a plain
+  // array read, with no per-clause allocation, sort, or clearing.
+  std::vector<std::uint64_t> lbd_stamp;
+  std::uint64_t lbd_stamp_id = 0;
 
   [[nodiscard]] int decision_level() const {
     return static_cast<int>(trail_lim.size());
@@ -381,15 +388,20 @@ struct SatSolver::Impl {
   }
 
   [[nodiscard]] int compute_lbd(const std::vector<Lit>& lits) {
-    // Number of distinct decision levels (cheap approximation with a set).
-    std::vector<int> levels;
-    levels.reserve(lits.size());
-    for (const Lit l : lits) {
-      levels.push_back(level[static_cast<std::size_t>(l.var())]);
+    // Number of distinct decision levels.
+    if (lbd_stamp.size() < assigns.size() + 1) {
+      lbd_stamp.resize(assigns.size() + 1, 0);
     }
-    std::sort(levels.begin(), levels.end());
-    return static_cast<int>(
-        std::unique(levels.begin(), levels.end()) - levels.begin());
+    ++lbd_stamp_id;
+    int distinct = 0;
+    for (const Lit l : lits) {
+      const int lv = level[static_cast<std::size_t>(l.var())];
+      if (lbd_stamp[static_cast<std::size_t>(lv)] != lbd_stamp_id) {
+        lbd_stamp[static_cast<std::size_t>(lv)] = lbd_stamp_id;
+        ++distinct;
+      }
+    }
+    return distinct;
   }
 
   void reduce_db() {
@@ -447,7 +459,7 @@ struct SatSolver::Impl {
   SatStatus search(std::uint64_t restart_conflicts, const Deadline& deadline,
                    std::uint64_t conflict_budget) {
     std::uint64_t conflicts_here = 0;
-    std::vector<Lit> learnt;
+    std::vector<Lit>& learnt = learnt_scratch;  // persists across restarts
     for (;;) {
       Clause* conflict = propagate();
       if (conflict != nullptr) {

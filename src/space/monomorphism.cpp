@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/pe_set.hpp"
 
 namespace monomap {
 
@@ -16,13 +17,435 @@ const char* to_string(SpaceOrder order) {
   return "?";
 }
 
+const char* to_string(SpaceEngine engine) {
+  switch (engine) {
+    case SpaceEngine::kBitset: return "bitset";
+    case SpaceEngine::kReference: return "reference";
+  }
+  return "?";
+}
+
 namespace {
 
-class Searcher {
+// --- checks and orderings shared by both engines ---------------------------
+
+bool check_labels(const Dfg& dfg, const CgraArch& arch,
+                  const std::vector<int>& labels, int ii,
+                  SpaceResult& result) {
+  // Capacity per label layer must hold or no injective map exists.
+  std::vector<int> count(static_cast<std::size_t>(ii), 0);
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    const int l = labels[static_cast<std::size_t>(v)];
+    MONOMAP_ASSERT_MSG(l >= 0 && l < ii,
+                       "label " << l << " outside [0," << ii << ")");
+    if (++count[static_cast<std::size_t>(l)] > arch.num_pes()) {
+      result.failure_reason =
+          "label layer " + std::to_string(l) + " exceeds CGRA capacity";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_slot_adjacency(const Dfg& dfg, const std::vector<int>& labels,
+                          int ii, SpaceResult& result) {
+  // Consecutive-only MRRG: an edge is only mappable if its labels are
+  // equal or cyclically consecutive.
+  const Graph& g = dfg.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.src == edge.dst) continue;
+    const int a = labels[static_cast<std::size_t>(edge.src)];
+    const int b = labels[static_cast<std::size_t>(edge.dst)];
+    const int d = (b - a + ii) % ii;
+    if (!(d == 0 || d == 1 || d == ii - 1)) {
+      result.failure_reason =
+          "edge " + std::to_string(edge.src) + "->" +
+          std::to_string(edge.dst) +
+          " spans non-consecutive slots under kConsecutiveOnly";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Static variable order for kConnectivity / kDegree / kBfs.
+std::vector<NodeId> build_static_order(
+    const Dfg& dfg, const std::vector<std::vector<NodeId>>& neighbors,
+    SpaceOrder order) {
+  const int n = dfg.num_nodes();
+  std::vector<NodeId> result;
+  result.reserve(static_cast<std::size_t>(n));
+
+  auto degree = [&](NodeId v) {
+    return static_cast<int>(neighbors[static_cast<std::size_t>(v)].size());
+  };
+
+  if (order == SpaceOrder::kDegree) {
+    for (NodeId v = 0; v < n; ++v) result.push_back(v);
+    std::stable_sort(result.begin(), result.end(),
+                     [&](NodeId a, NodeId b) { return degree(a) > degree(b); });
+    return result;
+  }
+
+  // kConnectivity and kBfs both grow a frontier; kConnectivity picks the
+  // most-connected-to-placed next, kBfs follows FIFO discovery order.
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+  std::vector<int> mapped_neighbors(static_cast<std::size_t>(n), 0);
+  for (int step = 0; step < n; ++step) {
+    NodeId best = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (placed[static_cast<std::size_t>(v)]) continue;
+      if (best == kInvalidNode) {
+        best = v;
+        continue;
+      }
+      const int mb = mapped_neighbors[static_cast<std::size_t>(best)];
+      const int mv = mapped_neighbors[static_cast<std::size_t>(v)];
+      if (order == SpaceOrder::kConnectivity) {
+        if (mv > mb || (mv == mb && degree(v) > degree(best))) {
+          best = v;
+        }
+      } else {  // kBfs: first discovered (any mapped neighbour) wins
+        if (mb == 0 && mv > 0) {
+          best = v;
+        } else if ((mb > 0) == (mv > 0) && degree(v) > degree(best) &&
+                   mb == 0) {
+          best = v;
+        }
+      }
+    }
+    result.push_back(best);
+    placed[static_cast<std::size_t>(best)] = true;
+    for (const NodeId u : neighbors[static_cast<std::size_t>(best)]) {
+      ++mapped_neighbors[static_cast<std::size_t>(u)];
+    }
+  }
+  return result;
+}
+
+/// True if the 8-fold symmetry reduction applies to this architecture.
+bool symmetry_applicable(const CgraArch& arch) {
+  return arch.rows() == arch.cols() && arch.topology() != Topology::kTorus;
+}
+
+/// For the very first placement on an empty square grid, candidates may be
+/// restricted to one symmetry octant (sound: any solution can be
+/// reflected/rotated into one whose first node lies there).
+bool in_canonical_octant(const CgraArch& arch, PeId p) {
+  const int half = (arch.rows() + 1) / 2;
+  const int r = arch.row_of(p);
+  const int c = arch.col_of(p);
+  return r < half && c < half && c >= r;
+}
+
+// --- bitset engine ---------------------------------------------------------
+
+/// Bit-parallel domain-propagation search. One PeSet candidate domain per
+/// DFG node; assigning node v to PE p narrows the domains of v's unassigned
+/// neighbours (mask intersection with N[p]) and of unassigned same-label
+/// nodes (PE p's slot is now taken). Every changed word is recorded on a
+/// trail, so unassignment is an O(#changes) word-wise restore. A domain
+/// wiped to zero anywhere triggers an immediate backtrack — strictly
+/// stronger pruning than the reference engine's one-step lookahead.
+///
+/// All state (domains, trail, orders) is preallocated in the constructor;
+/// the recursion itself never allocates.
+class BitsetSearcher {
  public:
-  Searcher(const Dfg& dfg, const CgraArch& arch,
-           const std::vector<int>& labels, int ii,
-           const SpaceOptions& options, const Deadline& deadline)
+  BitsetSearcher(const Dfg& dfg, const CgraArch& arch,
+                 const std::vector<int>& labels, int ii,
+                 const SpaceOptions& options, const Deadline& deadline)
+      : dfg_(dfg),
+        arch_(arch),
+        labels_(labels),
+        ii_(ii),
+        options_(options),
+        deadline_(deadline),
+        n_(dfg.num_nodes()),
+        num_pes_(arch.num_pes()),
+        neighbors_(static_cast<std::size_t>(n_)),
+        nodes_by_label_(static_cast<std::size_t>(ii)),
+        assignment_(static_cast<std::size_t>(n_), -1),
+        mapped_neighbor_count_(static_cast<std::size_t>(n_), 0) {
+    for (NodeId v = 0; v < n_; ++v) {
+      neighbors_[static_cast<std::size_t>(v)] =
+          dfg_.graph().undirected_neighbors(v);
+      const int label = labels_[static_cast<std::size_t>(v)];
+      if (label >= 0 && label < ii_) {  // check_labels asserts otherwise
+        nodes_by_label_[static_cast<std::size_t>(label)].push_back(v);
+      }
+    }
+    domain_.reserve(static_cast<std::size_t>(n_));
+    for (NodeId v = 0; v < n_; ++v) {
+      domain_.push_back(PeSet::full(num_pes_));
+    }
+    words_ = (num_pes_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
+    // Hard bound on live trail entries: per active depth, the same-label
+    // loop trails at most one word per node and the neighbour loop at most
+    // `words_` per node (a same-label neighbour contributes to both), and
+    // at most n_ depths are active. Reserving the bound up front is what
+    // keeps the recursion heap-silent — run() asserts it was never
+    // exceeded.
+    trail_.reserve(static_cast<std::size_t>(n_) *
+                   static_cast<std::size_t>(n_) *
+                   static_cast<std::size_t>(words_ + 1));
+    trail_reserved_ = trail_.capacity();
+
+    value_order_.reserve(static_cast<std::size_t>(num_pes_));
+    for (PeId p = 0; p < num_pes_; ++p) value_order_.push_back(p);
+    if (options_.interior_first) {
+      // Same key and stability as the reference engine's candidate sort, so
+      // both engines expand values in the same order.
+      std::stable_sort(value_order_.begin(), value_order_.end(),
+                       [&](PeId a, PeId b) {
+                         return arch_.closed_neighbors(a).size() >
+                                arch_.closed_neighbors(b).size();
+                       });
+    }
+    value_rank_.assign(static_cast<std::size_t>(num_pes_), 0);
+    for (int i = 0; i < num_pes_; ++i) {
+      value_rank_[static_cast<std::size_t>(value_order_[
+          static_cast<std::size_t>(i)])] = i;
+    }
+    // One candidate buffer per depth: enumeration happens via the domain's
+    // set bits (O(words + candidates)), not a scan over all PEs.
+    cand_arena_.assign(static_cast<std::size_t>(n_) *
+                           static_cast<std::size_t>(num_pes_),
+                       0);
+    if (options_.symmetry_breaking && symmetry_applicable(arch_)) {
+      canonical_ = PeSet(num_pes_);
+      for (PeId p = 0; p < num_pes_; ++p) {
+        if (in_canonical_octant(arch_, p)) canonical_.set(p);
+      }
+    }
+    if (options_.order != SpaceOrder::kDynamicMrv) {
+      order_ = build_static_order(dfg_, neighbors_, options_.order);
+    }
+  }
+
+  SpaceResult run() {
+    SpaceResult result;
+    Stopwatch watch;
+    if (!check_labels(dfg_, arch_, labels_, ii_, result)) {
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
+    if (options_.model == MrrgModel::kConsecutiveOnly &&
+        !check_slot_adjacency(dfg_, labels_, ii_, result)) {
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
+    result.found = n_ == 0 ? true : search(0, result);
+    // The no-steady-state-allocation invariant: the preallocated trail was
+    // never outgrown (a regrowth would mean the capacity bound is wrong).
+    MONOMAP_ASSERT(trail_.capacity() == trail_reserved_);
+    if (result.found) {
+      result.pe = assignment_;
+    } else if (result.failure_reason.empty()) {
+      result.failure_reason = result.timed_out ? "search budget exhausted"
+                                               : "search space exhausted";
+    }
+    result.seconds = watch.elapsed_s();
+    return result;
+  }
+
+ private:
+  struct TrailEntry {
+    NodeId node;
+    std::int32_t word;
+    PeSet::Word old_bits;
+  };
+
+  [[nodiscard]] bool assigned(NodeId v) const {
+    return assignment_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  /// domain_[u] &= mask, trailing every changed word. Returns false on
+  /// wipeout.
+  bool intersect_domain(NodeId u, const PeSet& mask) {
+    PeSet& d = domain_[static_cast<std::size_t>(u)];
+    PeSet::Word any = 0;
+    for (int w = 0; w < words_; ++w) {
+      const PeSet::Word old = d.word(w);
+      const PeSet::Word next = old & mask.word(w);
+      if (next != old) {
+        trail_.push_back(TrailEntry{u, w, old});
+        d.set_word(w, next);
+      }
+      any |= next;
+    }
+    return any != 0;
+  }
+
+  /// domain_[u] -= {p}, trailing the change. Returns false on wipeout.
+  bool remove_from_domain(NodeId u, PeId p) {
+    PeSet& d = domain_[static_cast<std::size_t>(u)];
+    const int w = p / PeSet::kWordBits;
+    const PeSet::Word bit = PeSet::Word{1} << (p % PeSet::kWordBits);
+    const PeSet::Word old = d.word(w);
+    // No-op removal: the domain is unchanged, and domains of unassigned
+    // nodes are non-empty by invariant — skip the emptiness scan.
+    if ((old & bit) == 0) return true;
+    trail_.push_back(TrailEntry{u, w, old});
+    d.set_word(w, old & ~bit);
+    return !d.empty();
+  }
+
+  /// Propagate the consequences of assignment v -> p into every unassigned
+  /// domain. Returns false if any domain is wiped out (the caller undoes
+  /// via the trail mark either way on failure).
+  bool propagate_assign(NodeId v, PeId p) {
+    // Frontier bookkeeping first, unconditionally: undo_assign always
+    // decrements every neighbour, so the increments must not be skipped by
+    // an early wipeout return below.
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      ++mapped_neighbor_count_[static_cast<std::size_t>(u)];
+    }
+    const int label = labels_[static_cast<std::size_t>(v)];
+    // PE p's slot at v's label is now occupied (mono1).
+    for (const NodeId u : nodes_by_label_[static_cast<std::size_t>(label)]) {
+      if (assigned(u)) continue;
+      if (!remove_from_domain(u, p)) return false;
+    }
+    // Unassigned neighbours must land in N[p] (mono3); a same-label
+    // neighbour additionally lost p itself above.
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      if (assigned(u)) continue;
+      if (!intersect_domain(u, arch_.closed_neighbor_mask(p))) return false;
+    }
+    return true;
+  }
+
+  void undo_assign(NodeId v, std::size_t mark) {
+    for (std::size_t i = trail_.size(); i > mark; --i) {
+      const TrailEntry& e = trail_[i - 1];
+      domain_[static_cast<std::size_t>(e.node)].set_word(e.word, e.old_bits);
+    }
+    trail_.resize(mark);
+    for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+      --mapped_neighbor_count_[static_cast<std::size_t>(u)];
+    }
+    assignment_[static_cast<std::size_t>(v)] = -1;
+  }
+
+  /// Next node to branch on. Static orders read order_; dynamic MRV picks
+  /// the unassigned node with the smallest domain (popcount), preferring
+  /// frontier nodes, breaking ties by higher degree.
+  NodeId select_node(std::size_t depth) const {
+    if (options_.order != SpaceOrder::kDynamicMrv) {
+      return order_[depth];
+    }
+    NodeId best = kInvalidNode;
+    int best_count = 0;
+    bool best_frontier = false;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (assigned(v)) continue;
+      const bool frontier =
+          mapped_neighbor_count_[static_cast<std::size_t>(v)] > 0;
+      if (best != kInvalidNode && best_frontier && !frontier) continue;
+      const int count = domain_[static_cast<std::size_t>(v)].count();
+      const bool better =
+          best == kInvalidNode || (frontier && !best_frontier) ||
+          (frontier == best_frontier &&
+           (count < best_count ||
+            (count == best_count &&
+             neighbors_[static_cast<std::size_t>(v)].size() >
+                 neighbors_[static_cast<std::size_t>(best)].size())));
+      if (better) {
+        best = v;
+        best_count = count;
+        best_frontier = frontier;
+      }
+    }
+    return best;
+  }
+
+  bool search(std::size_t depth, SpaceResult& result) {
+    if (depth == static_cast<std::size_t>(n_)) return true;
+    ++result.nodes_expanded;
+    if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
+      result.timed_out = true;
+      result.deadline_expired = true;
+      return false;
+    }
+    if (options_.max_backtracks != 0 &&
+        result.backtracks > options_.max_backtracks) {
+      result.timed_out = true;
+      return false;
+    }
+    const NodeId v = select_node(depth);
+    MONOMAP_ASSERT(v != kInvalidNode);
+    // First placement: restrict to the canonical octant unless that empties
+    // the candidate set (mirrors the reference engine exactly).
+    const bool canonical_only = depth == 0 && canonical_.capacity() > 0 &&
+                                domain_[static_cast<std::size_t>(v)]
+                                    .intersects(canonical_);
+    // Snapshot the domain's candidates into this depth's buffer and order
+    // them by the global value order (ranks are unique, so this reproduces
+    // filtering value_order_ by the domain, without scanning all PEs).
+    PeId* cands = cand_arena_.data() +
+                  static_cast<std::size_t>(depth) *
+                      static_cast<std::size_t>(num_pes_);
+    int num_cands = 0;
+    domain_[static_cast<std::size_t>(v)].for_each([&](int p) {
+      if (canonical_only && !canonical_.test(p)) return;
+      cands[num_cands++] = static_cast<PeId>(p);
+    });
+    std::sort(cands, cands + num_cands, [&](PeId a, PeId b) {
+      return value_rank_[static_cast<std::size_t>(a)] <
+             value_rank_[static_cast<std::size_t>(b)];
+    });
+    for (int ci = 0; ci < num_cands; ++ci) {
+      const PeId p = cands[ci];
+      const std::size_t mark = trail_.size();
+      assignment_[static_cast<std::size_t>(v)] = p;
+      if (propagate_assign(v, p)) {
+        if (search(depth + 1, result)) return true;
+        if (result.timed_out) {
+          undo_assign(v, mark);
+          return false;
+        }
+      }
+      undo_assign(v, mark);
+      ++result.backtracks;
+    }
+    return false;
+  }
+
+  const Dfg& dfg_;
+  const CgraArch& arch_;
+  const std::vector<int>& labels_;
+  int ii_;
+  SpaceOptions options_;
+  const Deadline& deadline_;
+  int n_;
+  int num_pes_;
+  int words_ = 0;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<NodeId>> nodes_by_label_;
+  std::vector<PeId> assignment_;
+  std::vector<int> mapped_neighbor_count_;
+  std::vector<PeSet> domain_;
+  std::vector<TrailEntry> trail_;
+  std::size_t trail_reserved_ = 0;
+  std::vector<PeId> value_order_;   // global value order (interior-first)
+  std::vector<int> value_rank_;     // inverse of value_order_
+  std::vector<PeId> cand_arena_;    // per-depth candidate buffers
+  std::vector<NodeId> order_;       // static variable order, if any
+  PeSet canonical_;                 // empty capacity == disabled
+};
+
+// --- reference engine ------------------------------------------------------
+
+/// The original scan-based searcher (RI/VF3 style): candidate sets recounted
+/// from adjacency lists at every step. Kept verbatim as the independent
+/// oracle for differential testing.
+class ReferenceSearcher {
+ public:
+  ReferenceSearcher(const Dfg& dfg, const CgraArch& arch,
+                    const std::vector<int>& labels, int ii,
+                    const SpaceOptions& options, const Deadline& deadline)
       : dfg_(dfg),
         arch_(arch),
         labels_(labels),
@@ -43,24 +466,26 @@ class Searcher {
   SpaceResult run() {
     SpaceResult result;
     Stopwatch watch;
-    if (!check_labels(result)) {
+    if (!check_labels(dfg_, arch_, labels_, ii_, result)) {
       result.seconds = watch.elapsed_s();
       return result;
     }
     if (options_.model == MrrgModel::kConsecutiveOnly &&
-        !check_slot_adjacency(result)) {
+        !check_slot_adjacency(dfg_, labels_, ii_, result)) {
       result.seconds = watch.elapsed_s();
       return result;
     }
-    const bool found = options_.order == SpaceOrder::kDynamicMrv
-                           ? (prepare_dynamic(), search_dynamic(0, result))
-                           : (build_order(), search(0, result));
+    const bool found =
+        options_.order == SpaceOrder::kDynamicMrv
+            ? (prepare_dynamic(), search_dynamic(0, result))
+            : (order_ = build_static_order(dfg_, neighbors_, options_.order),
+               search(0, result));
     result.found = found;
     if (found) {
       result.pe = assignment_;
     } else if (result.failure_reason.empty()) {
-      result.failure_reason =
-          result.timed_out ? "search budget exhausted" : "search space exhausted";
+      result.failure_reason = result.timed_out ? "search budget exhausted"
+                                               : "search space exhausted";
     }
     result.seconds = watch.elapsed_s();
     return result;
@@ -76,94 +501,6 @@ class Searcher {
     used_[static_cast<std::size_t>(slot) *
               static_cast<std::size_t>(arch_.num_pes()) +
           static_cast<std::size_t>(pe)] = value;
-  }
-
-  bool check_labels(SpaceResult& result) const {
-    // Capacity per label layer must hold or no injective map exists.
-    std::vector<int> count(static_cast<std::size_t>(ii_), 0);
-    for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
-      const int l = labels_[static_cast<std::size_t>(v)];
-      MONOMAP_ASSERT_MSG(l >= 0 && l < ii_,
-                         "label " << l << " outside [0," << ii_ << ")");
-      if (++count[static_cast<std::size_t>(l)] > arch_.num_pes()) {
-        result.failure_reason = "label layer " + std::to_string(l) +
-                                " exceeds CGRA capacity";
-        return false;
-      }
-    }
-    return true;
-  }
-
-  bool check_slot_adjacency(SpaceResult& result) const {
-    // Consecutive-only MRRG: an edge is only mappable if its labels are
-    // equal or cyclically consecutive.
-    const Graph& g = dfg_.graph();
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const Edge& edge = g.edge(e);
-      if (edge.src == edge.dst) continue;
-      const int a = labels_[static_cast<std::size_t>(edge.src)];
-      const int b = labels_[static_cast<std::size_t>(edge.dst)];
-      const int d = (b - a + ii_) % ii_;
-      if (!(d == 0 || d == 1 || d == ii_ - 1)) {
-        result.failure_reason =
-            "edge " + std::to_string(edge.src) + "->" +
-            std::to_string(edge.dst) +
-            " spans non-consecutive slots under kConsecutiveOnly";
-        return false;
-      }
-    }
-    return true;
-  }
-
-  void build_order() {
-    const int n = dfg_.num_nodes();
-    order_.clear();
-    order_.reserve(static_cast<std::size_t>(n));
-    std::vector<bool> placed(static_cast<std::size_t>(n), false);
-    std::vector<int> mapped_neighbors(static_cast<std::size_t>(n), 0);
-
-    auto degree = [&](NodeId v) {
-      return static_cast<int>(neighbors_[static_cast<std::size_t>(v)].size());
-    };
-
-    if (options_.order == SpaceOrder::kDegree) {
-      for (NodeId v = 0; v < n; ++v) order_.push_back(v);
-      std::stable_sort(order_.begin(), order_.end(),
-                       [&](NodeId a, NodeId b) { return degree(a) > degree(b); });
-      return;
-    }
-
-    // kConnectivity and kBfs both grow a frontier; kConnectivity picks the
-    // most-connected-to-placed next, kBfs follows FIFO discovery order.
-    for (int step = 0; step < n; ++step) {
-      NodeId best = kInvalidNode;
-      for (NodeId v = 0; v < n; ++v) {
-        if (placed[static_cast<std::size_t>(v)]) continue;
-        if (best == kInvalidNode) {
-          best = v;
-          continue;
-        }
-        const int mb = mapped_neighbors[static_cast<std::size_t>(best)];
-        const int mv = mapped_neighbors[static_cast<std::size_t>(v)];
-        if (options_.order == SpaceOrder::kConnectivity) {
-          if (mv > mb || (mv == mb && degree(v) > degree(best))) {
-            best = v;
-          }
-        } else {  // kBfs: first discovered (any mapped neighbour) wins
-          if (mb == 0 && mv > 0) {
-            best = v;
-          } else if ((mb > 0) == (mv > 0) && degree(v) > degree(best) &&
-                     mb == 0) {
-            best = v;
-          }
-        }
-      }
-      order_.push_back(best);
-      placed[static_cast<std::size_t>(best)] = true;
-      for (const NodeId u : neighbors_[static_cast<std::size_t>(best)]) {
-        ++mapped_neighbors[static_cast<std::size_t>(u)];
-      }
-    }
   }
 
   /// Count candidates of `v`, stopping once `limit` is reached (the MRV
@@ -190,6 +527,10 @@ class Searcher {
     return count;
   }
 
+  /// The single compatibility predicate both candidate enumeration and MRV
+  /// counting share: p's slot at v's label is free, every assigned
+  /// neighbour is adjacent-or-same, and same-PE placement only happens
+  /// across distinct label layers.
   [[nodiscard]] bool pe_compatible(NodeId v, PeId p, int label) const {
     if (slot_used(p, label)) return false;
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
@@ -207,7 +548,6 @@ class Searcher {
   void candidates(NodeId v, std::vector<PeId>& out) const {
     out.clear();
     const int label = labels_[static_cast<std::size_t>(v)];
-    // Collect mapped neighbours.
     PeId anchor = -1;
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
       if (assignment_[static_cast<std::size_t>(u)] >= 0) {
@@ -215,27 +555,13 @@ class Searcher {
         break;
       }
     }
-    auto compatible = [&](PeId p) {
-      if (slot_used(p, label)) return false;
-      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
-        const PeId q = assignment_[static_cast<std::size_t>(u)];
-        if (q < 0) continue;
-        if (!arch_.adjacent_or_same(p, q)) return false;
-        // Same PE is only possible on a different label layer (injectivity
-        // is already guaranteed by slot_used when labels are equal).
-        if (p == q && labels_[static_cast<std::size_t>(u)] == label) {
-          return false;
-        }
-      }
-      return true;
-    };
     if (anchor >= 0) {
       for (const PeId p : arch_.closed_neighbors(anchor)) {
-        if (compatible(p)) out.push_back(p);
+        if (pe_compatible(v, p, label)) out.push_back(p);
       }
     } else {
       for (PeId p = 0; p < arch_.num_pes(); ++p) {
-        if (compatible(p)) out.push_back(p);
+        if (pe_compatible(v, p, label)) out.push_back(p);
       }
     }
     if (options_.interior_first) {
@@ -346,7 +672,8 @@ class Searcher {
           (best == kInvalidNode || (frontier && !best_frontier))
               ? static_cast<std::size_t>(arch_.num_pes())
               : best_cands + 1;
-      const std::size_t count = count_candidates(v, std::max<std::size_t>(cap, 1));
+      const std::size_t count =
+          count_candidates(v, std::max<std::size_t>(cap, 1));
       if (frontier && count == 0) {
         ++result.backtracks;
         return false;  // dead end: some neighbour choice was wrong
@@ -389,23 +716,12 @@ class Searcher {
     return false;
   }
 
-  /// For the very first placement on an empty square grid, restrict
-  /// candidates to one symmetry octant (sound: any solution can be
-  /// reflected/rotated into one whose first node lies there).
+  /// Restrict the first placement to one symmetry octant of a square mesh.
   void restrict_to_canonical(std::vector<PeId>& cands) const {
-    if (arch_.rows() != arch_.cols() ||
-        arch_.topology() == Topology::kTorus) {
-      return;  // only exploit the 8-fold symmetry of square meshes
-    }
-    const int half = (arch_.rows() + 1) / 2;
-    auto canonical = [&](PeId p) {
-      const int r = arch_.row_of(p);
-      const int c = arch_.col_of(p);
-      return r < half && c < half && c >= r;
-    };
+    if (!symmetry_applicable(arch_)) return;
     std::vector<PeId> filtered;
     for (const PeId p : cands) {
-      if (canonical(p)) filtered.push_back(p);
+      if (in_canonical_octant(arch_, p)) filtered.push_back(p);
     }
     if (!filtered.empty()) {
       cands = std::move(filtered);
@@ -433,7 +749,10 @@ SpaceResult find_monomorphism(const Dfg& dfg, const CgraArch& arch,
                               const Deadline& deadline) {
   MONOMAP_ASSERT(static_cast<int>(labels.size()) == dfg.num_nodes());
   MONOMAP_ASSERT(ii >= 1);
-  return Searcher(dfg, arch, labels, ii, options, deadline).run();
+  if (options.engine == SpaceEngine::kReference) {
+    return ReferenceSearcher(dfg, arch, labels, ii, options, deadline).run();
+  }
+  return BitsetSearcher(dfg, arch, labels, ii, options, deadline).run();
 }
 
 }  // namespace monomap

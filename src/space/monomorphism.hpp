@@ -38,9 +38,29 @@ enum class SpaceOrder {
 
 const char* to_string(SpaceOrder order);
 
+/// Search-engine implementation (both explore the same space and agree on
+/// found/not-found for complete runs; see tests/space_engines_test.cpp).
+enum class SpaceEngine {
+  /// Bit-parallel candidate domains (one PeSet per DFG node) updated
+  /// incrementally on assign/unassign through a trail: MRV selection is a
+  /// popcount, forward checking is domain-wipeout detection, and the
+  /// steady-state recursion performs no heap allocation. Glasgow-solver
+  /// style; the default.
+  kBitset,
+  /// The original scan-based searcher: per-step candidate recounts against
+  /// adjacency lists. Kept as the independent oracle for differential
+  /// testing and for the A3 ablation's forward-check toggle.
+  kReference,
+};
+
+const char* to_string(SpaceEngine engine);
+
 struct SpaceOptions {
+  SpaceEngine engine = SpaceEngine::kBitset;
   SpaceOrder order = SpaceOrder::kDynamicMrv;
   MrrgModel model = MrrgModel::kRegisterPersistence;
+  /// Reference engine only: cheap one-step lookahead. The bitset engine's
+  /// domain propagation subsumes it and cannot be disabled.
   bool forward_check = true;
   bool interior_first = true;       // value ordering: prefer interior PEs
   bool symmetry_breaking = true;    // restrict the very first placement

@@ -1,0 +1,182 @@
+// Fixed-capacity bitset over dense integer ids (PEs, nodes, ...).
+//
+// The space-search hot path works on candidate *domains*: sets of PEs a DFG
+// node may still be placed on. Representing a domain as a word array turns
+// the inner-loop operations — "intersect with a neighbourhood", "how many
+// candidates remain", "is the domain wiped out" — into a handful of
+// bitwise ops and popcounts, independent of how many elements the set holds.
+// Capacity is fixed at construction (one heap allocation); every subsequent
+// operation is allocation-free, which is what lets the searcher preallocate
+// all of its domains up front and keep the recursion heap-silent.
+#ifndef MONOMAP_SUPPORT_PE_SET_HPP
+#define MONOMAP_SUPPORT_PE_SET_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace monomap {
+
+class PeSet {
+ public:
+  using Word = std::uint64_t;
+  static constexpr int kWordBits = 64;
+
+  PeSet() = default;
+
+  /// An empty set able to hold ids in [0, capacity).
+  explicit PeSet(int capacity)
+      : capacity_(capacity),
+        words_(static_cast<std::size_t>((capacity + kWordBits - 1) / kWordBits),
+               0) {
+    MONOMAP_ASSERT(capacity >= 0);
+  }
+
+  /// The full set {0, ..., capacity-1}.
+  static PeSet full(int capacity) {
+    PeSet s(capacity);
+    s.fill();
+    return s;
+  }
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int num_words() const {
+    return static_cast<int>(words_.size());
+  }
+
+  [[nodiscard]] bool test(int i) const {
+    MONOMAP_ASSERT(i >= 0 && i < capacity_);
+    return (words_[static_cast<std::size_t>(i / kWordBits)] >>
+            (i % kWordBits)) & 1u;
+  }
+  void set(int i) {
+    MONOMAP_ASSERT(i >= 0 && i < capacity_);
+    words_[static_cast<std::size_t>(i / kWordBits)] |= Word{1}
+                                                       << (i % kWordBits);
+  }
+  void reset(int i) {
+    MONOMAP_ASSERT(i >= 0 && i < capacity_);
+    words_[static_cast<std::size_t>(i / kWordBits)] &=
+        ~(Word{1} << (i % kWordBits));
+  }
+
+  void clear() {
+    for (Word& w : words_) w = 0;
+  }
+  void fill() {
+    for (Word& w : words_) w = ~Word{0};
+    trim();
+  }
+
+  [[nodiscard]] int count() const {
+    int c = 0;
+    for (const Word w : words_) c += std::popcount(w);
+    return c;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const Word w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool any() const { return !empty(); }
+
+  PeSet& operator&=(const PeSet& o) {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  PeSet& operator|=(const PeSet& o) {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  /// this &= ~o (set difference).
+  PeSet& and_not(const PeSet& o) {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool intersects(const PeSet& o) const {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const PeSet& a, const PeSet& b) {
+    return a.capacity_ == b.capacity_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const PeSet& a, const PeSet& b) { return !(a == b); }
+
+  /// Lowest set id, or -1 when empty.
+  [[nodiscard]] int find_first() const { return find_from(0); }
+
+  /// Lowest set id > prev, or -1 when exhausted.
+  [[nodiscard]] int find_next(int prev) const { return find_from(prev + 1); }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      Word w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        f(static_cast<int>(wi) * kWordBits + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  // Raw word access: the searcher's trail saves/restores domains word-wise.
+  [[nodiscard]] Word word(int i) const {
+    return words_[static_cast<std::size_t>(i)];
+  }
+  void set_word(int i, Word w) {
+    // Phantom bits beyond capacity() would corrupt count()/empty()/==.
+    MONOMAP_ASSERT((w & ~tail_mask(i)) == 0);
+    words_[static_cast<std::size_t>(i)] = w;
+  }
+
+ private:
+  [[nodiscard]] int find_from(int start) const {
+    if (start < 0) start = 0;
+    if (start >= capacity_) return -1;
+    std::size_t wi = static_cast<std::size_t>(start / kWordBits);
+    Word w = words_[wi] >> (start % kWordBits);
+    if (w != 0) return start + std::countr_zero(w);
+    for (++wi; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return static_cast<int>(wi) * kWordBits + std::countr_zero(words_[wi]);
+      }
+    }
+    return -1;
+  }
+
+  /// Clear the unused high bits of the last word so count()/empty() stay
+  /// exact after fill().
+  void trim() {
+    if (!words_.empty()) {
+      words_.back() &= tail_mask(static_cast<int>(words_.size()) - 1);
+    }
+  }
+
+  /// Valid-bit mask of word `i` (all-ones except the last word's tail).
+  [[nodiscard]] Word tail_mask(int i) const {
+    const int tail = capacity_ % kWordBits;
+    if (i + 1 == static_cast<int>(words_.size()) && tail != 0) {
+      return (Word{1} << tail) - 1;
+    }
+    return ~Word{0};
+  }
+
+  int capacity_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SUPPORT_PE_SET_HPP

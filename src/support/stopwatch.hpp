@@ -2,6 +2,7 @@
 #ifndef MONOMAP_SUPPORT_STOPWATCH_HPP
 #define MONOMAP_SUPPORT_STOPWATCH_HPP
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 
@@ -26,8 +27,28 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-/// A wall-clock budget shared by the phases of a solve. A non-positive or
-/// infinite budget means "no deadline".
+/// Cooperative cancellation flag shared between solver threads. The
+/// portfolio mapper hands one token to every racing configuration; the
+/// first winner cancels the rest, which observe it through their Deadline
+/// at the next periodic expiry check.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock budget shared by the phases of a solve. An infinite budget
+/// means "no deadline"; a non-positive budget is already expired (tests use
+/// Deadline(0.0) to exercise expiry paths) — callers treating "<= 0" as
+/// unlimited must translate it themselves, as DecoupledMapper does. May
+/// additionally carry a CancelToken: a cancelled token makes the deadline
+/// report expiry immediately, regardless of the wall clock.
 class Deadline {
  public:
   /// No deadline.
@@ -36,14 +57,24 @@ class Deadline {
   /// Deadline `budget_s` seconds from now.
   explicit Deadline(double budget_s) : limit_s_(budget_s) {}
 
+  /// Deadline `budget_s` seconds from now that also honours `cancel`. The
+  /// token must outlive the deadline; pass nullptr for no token.
+  Deadline(double budget_s, const CancelToken* cancel)
+      : limit_s_(budget_s), cancel_(cancel) {}
+
   [[nodiscard]] static Deadline unlimited() { return Deadline(); }
 
   [[nodiscard]] bool expired() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
     return watch_.elapsed_s() >= limit_s_;
   }
 
-  /// Seconds remaining (never negative; +inf when unlimited).
+  [[nodiscard]] const CancelToken* cancel_token() const { return cancel_; }
+
+  /// Seconds remaining (never negative; +inf when unlimited; 0 once the
+  /// cancel token fired, consistent with expired()).
   [[nodiscard]] double remaining_s() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return 0.0;
     const double rem = limit_s_ - watch_.elapsed_s();
     return rem > 0.0 ? rem : 0.0;
   }
@@ -55,6 +86,7 @@ class Deadline {
  private:
   Stopwatch watch_;
   double limit_s_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace monomap

@@ -75,6 +75,36 @@ TEST(Cgra, OneByOneHasNoNeighbors) {
   EXPECT_EQ(arch.connectivity_degree(), 1);
 }
 
+TEST(Cgra, NeighborMasksMatchAdjacencyLists) {
+  // The bitset masks are the space-search view of the same adjacency; they
+  // must agree with the list representation on every topology, including a
+  // >64-PE grid where masks span multiple words.
+  for (const Topology t :
+       {Topology::kMesh, Topology::kTorus, Topology::kDiagonal}) {
+    for (const int side : {2, 3, 9}) {  // 9x9 = 81 PEs > one word
+      const CgraArch arch(side, side, t);
+      for (PeId pe = 0; pe < arch.num_pes(); ++pe) {
+        const PeSet& open = arch.neighbor_mask(pe);
+        const PeSet& closed = arch.closed_neighbor_mask(pe);
+        EXPECT_EQ(open.capacity(), arch.num_pes());
+        EXPECT_EQ(static_cast<std::size_t>(open.count()),
+                  arch.neighbors(pe).size());
+        EXPECT_EQ(static_cast<std::size_t>(closed.count()),
+                  arch.closed_neighbors(pe).size());
+        for (const PeId q : arch.neighbors(pe)) {
+          EXPECT_TRUE(open.test(q)) << topology_name(t) << " " << pe;
+        }
+        EXPECT_FALSE(open.test(pe));
+        EXPECT_TRUE(closed.test(pe));
+        for (PeId q = 0; q < arch.num_pes(); ++q) {
+          EXPECT_EQ(arch.adjacent(pe, q), open.test(q));
+          EXPECT_EQ(arch.adjacent_or_same(pe, q), closed.test(q));
+        }
+      }
+    }
+  }
+}
+
 TEST(Cgra, InvalidSizeThrows) {
   EXPECT_THROW(CgraArch(0, 3), AssertionError);
 }

@@ -1,0 +1,275 @@
+// Differential tests: the bitset space-search engine against the reference
+// scan engine, plus the parallel portfolio mapper built on top of it.
+//
+// Both engines are complete searches over the same space, so on any
+// instance they must agree on found/not-found (given unlimited budgets),
+// and every found placement must be a genuine monomorphism. The sweep
+// crosses random DFGs with random label vectors — schedule-feasible or not,
+// the space search must handle them — over all three topologies and
+// II in {1..4}.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "mapper/decoupled_mapper.hpp"
+#include "space/monomorphism.hpp"
+#include "support/rng.hpp"
+#include "timing/time_solver.hpp"
+#include "workloads/running_example.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace monomap {
+namespace {
+
+/// mono1 + mono3 validity of a found placement.
+void expect_valid_placement(const Dfg& dfg, const CgraArch& arch,
+                            const std::vector<int>& labels,
+                            const SpaceResult& result) {
+  ASSERT_EQ(result.pe.size(), static_cast<std::size_t>(dfg.num_nodes()));
+  std::set<std::pair<PeId, int>> used;
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    ASSERT_TRUE(arch.has_pe(result.pe[static_cast<std::size_t>(v)]));
+    EXPECT_TRUE(used.emplace(result.pe[static_cast<std::size_t>(v)],
+                             labels[static_cast<std::size_t>(v)])
+                    .second)
+        << "vertex collision for node " << v;
+  }
+  const Graph& g = dfg.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.src == edge.dst) continue;
+    EXPECT_TRUE(arch.adjacent_or_same(
+        result.pe[static_cast<std::size_t>(edge.src)],
+        result.pe[static_cast<std::size_t>(edge.dst)]))
+        << "edge " << edge.src << "->" << edge.dst;
+  }
+}
+
+SpaceOptions engine_options(SpaceEngine engine) {
+  SpaceOptions opt;
+  opt.engine = engine;
+  opt.max_backtracks = 0;  // complete searches must agree exactly
+  return opt;
+}
+
+TEST(SpaceEngines, DifferentialRandomSweep) {
+  int instances = 0;
+  int found_count = 0;
+  for (const Topology topology :
+       {Topology::kMesh, Topology::kTorus, Topology::kDiagonal}) {
+    const CgraArch arch(3, 3, topology);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      SyntheticSpec spec;
+      spec.num_nodes = 8 + static_cast<int>(seed) * 2;  // 10..20 nodes
+      spec.seed = seed * 977;
+      const Dfg dfg = random_dfg(spec);
+      for (int ii = 1; ii <= 4; ++ii) {
+        // Random labels: the space search must behave identically whether
+        // or not a schedule would ever produce this label vector.
+        Rng rng(seed * 131 + static_cast<std::uint64_t>(ii));
+        std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
+        for (int& l : labels) {
+          l = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(ii)));
+        }
+        const SpaceResult bitset = find_monomorphism(
+            dfg, arch, labels, ii, engine_options(SpaceEngine::kBitset));
+        const SpaceResult reference = find_monomorphism(
+            dfg, arch, labels, ii, engine_options(SpaceEngine::kReference));
+        ASSERT_EQ(bitset.found, reference.found)
+            << "engines disagree: topology=" << topology_name(topology)
+            << " seed=" << seed << " ii=" << ii;
+        ++instances;
+        if (bitset.found) {
+          ++found_count;
+          expect_valid_placement(dfg, arch, labels, bitset);
+          expect_valid_placement(dfg, arch, labels, reference);
+        }
+      }
+    }
+  }
+  // The sweep must exercise both outcomes to mean anything.
+  EXPECT_GT(found_count, 0);
+  EXPECT_LT(found_count, instances);
+}
+
+TEST(SpaceEngines, DifferentialOnScheduleRealisticInstances) {
+  // Real schedules from the time solver, both engines, all variable orders.
+  // hotspot3D is restricted to dynamic MRV: its first 4x4 schedule is
+  // spatially infeasible and the *reference* engine needs >10 s to prove
+  // exhaustion under the weak static orders.
+  for (const char* name : {"gsm", "fft", "hotspot3D"}) {
+    const bool hard = std::string(name) == "hotspot3D";
+    const Benchmark& b = benchmark_by_name(name);
+    const CgraArch arch = CgraArch::square(4);
+    TimeSolver solver(b.dfg, arch);
+    const auto sol = solver.next(Deadline(30.0));
+    ASSERT_TRUE(sol.has_value()) << name;
+    std::vector<int> labels;
+    for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+      labels.push_back(sol->label(v));
+    }
+    for (const SpaceOrder order :
+         {SpaceOrder::kDynamicMrv, SpaceOrder::kConnectivity,
+          SpaceOrder::kDegree, SpaceOrder::kBfs}) {
+      if (hard && order != SpaceOrder::kDynamicMrv) continue;
+      SpaceOptions bitset_opt = engine_options(SpaceEngine::kBitset);
+      bitset_opt.order = order;
+      SpaceOptions ref_opt = engine_options(SpaceEngine::kReference);
+      ref_opt.order = order;
+      const SpaceResult bitset =
+          find_monomorphism(b.dfg, arch, labels, sol->ii, bitset_opt);
+      const SpaceResult reference =
+          find_monomorphism(b.dfg, arch, labels, sol->ii, ref_opt);
+      ASSERT_EQ(bitset.found, reference.found)
+          << name << " order=" << to_string(order);
+      if (bitset.found) {
+        expect_valid_placement(b.dfg, arch, labels, bitset);
+      }
+    }
+  }
+}
+
+TEST(SpaceEngines, BitsetPrunesAtLeastAsHard) {
+  // Wipeout propagation explores no more nodes than the reference engine's
+  // one-step lookahead on the same static order.
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  const CgraArch arch = CgraArch::square(4);
+  TimeSolver solver(b.dfg, arch);
+  const auto sol = solver.next(Deadline(30.0));
+  ASSERT_TRUE(sol.has_value());
+  std::vector<int> labels;
+  for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+    labels.push_back(sol->label(v));
+  }
+  SpaceOptions bitset_opt = engine_options(SpaceEngine::kBitset);
+  bitset_opt.order = SpaceOrder::kConnectivity;
+  SpaceOptions ref_opt = engine_options(SpaceEngine::kReference);
+  ref_opt.order = SpaceOrder::kConnectivity;
+  const SpaceResult bitset =
+      find_monomorphism(b.dfg, arch, labels, sol->ii, bitset_opt);
+  const SpaceResult reference =
+      find_monomorphism(b.dfg, arch, labels, sol->ii, ref_opt);
+  ASSERT_EQ(bitset.found, reference.found);
+  EXPECT_LE(bitset.nodes_expanded, reference.nodes_expanded);
+}
+
+TEST(SpaceEngines, BudgetAndDeadlineReporting) {
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  const CgraArch arch = CgraArch::square(4);
+  TimeSolver solver(b.dfg, arch);
+  const auto sol = solver.next(Deadline(30.0));
+  ASSERT_TRUE(sol.has_value());
+  std::vector<int> labels;
+  for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+    labels.push_back(sol->label(v));
+  }
+  SpaceOptions opt;  // bitset default
+  opt.max_backtracks = 1;
+  const SpaceResult tiny = find_monomorphism(b.dfg, arch, labels, sol->ii, opt);
+  if (!tiny.found) {
+    EXPECT_TRUE(tiny.timed_out);
+    EXPECT_FALSE(tiny.deadline_expired);
+  }
+  const Deadline expired(0.0);
+  const SpaceResult dead = find_monomorphism(b.dfg, arch, labels, sol->ii,
+                                             SpaceOptions{}, expired);
+  if (!dead.found) {
+    EXPECT_TRUE(dead.deadline_expired);
+  }
+}
+
+TEST(SpaceEngines, EmptyDfgMapsTrivially) {
+  const Dfg dfg = Dfg::from_edges("empty", 0, {});
+  const CgraArch arch = CgraArch::square(2);
+  for (const SpaceEngine engine :
+       {SpaceEngine::kBitset, SpaceEngine::kReference}) {
+    const SpaceResult r =
+        find_monomorphism(dfg, arch, {}, 1, engine_options(engine));
+    EXPECT_TRUE(r.found) << to_string(engine);
+    EXPECT_TRUE(r.pe.empty());
+  }
+}
+
+TEST(SpaceEngines, CancelTokenStopsTheSearch) {
+  CancelToken token;
+  token.cancel();
+  const Deadline cancelled(1e9, &token);
+  EXPECT_TRUE(cancelled.expired());
+  token.reset();
+  EXPECT_FALSE(cancelled.expired());
+}
+
+TEST(Portfolio, FindsValidMappingThreaded) {
+  const Benchmark& b = benchmark_by_name("gsm");
+  const CgraArch arch = CgraArch::square(4);
+  DecoupledMapperOptions opt;
+  opt.timeout_s = 60.0;
+  PortfolioOptions popt;
+  popt.num_threads = 4;
+  const MapResult r = DecoupledMapper(opt).map_portfolio(b.dfg, arch, popt);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GE(r.portfolio_config, 0);
+  EXPECT_TRUE(mapping_is_valid(b.dfg, arch, r.mapping));
+}
+
+TEST(Portfolio, SequentialModeIsDeterministic) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  DecoupledMapperOptions opt;
+  opt.timeout_s = 60.0;
+  PortfolioOptions popt;
+  popt.num_threads = 1;
+  const DecoupledMapper mapper(opt);
+  const MapResult a = mapper.map_portfolio(dfg, arch, popt);
+  const MapResult b = mapper.map_portfolio(dfg, arch, popt);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(a.portfolio_config, b.portfolio_config);
+  EXPECT_EQ(a.ii, b.ii);
+  ASSERT_EQ(a.mapping.num_nodes(), b.mapping.num_nodes());
+  for (NodeId v = 0; v < a.mapping.num_nodes(); ++v) {
+    EXPECT_EQ(a.mapping.pe(v), b.mapping.pe(v));
+    EXPECT_EQ(a.mapping.time(v), b.mapping.time(v));
+  }
+}
+
+TEST(Portfolio, ExplicitConfigListIsHonoured) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  DecoupledMapperOptions opt;
+  opt.timeout_s = 60.0;
+  PortfolioOptions popt;
+  popt.num_threads = 1;
+  SpaceOptions only;
+  only.order = SpaceOrder::kDegree;
+  popt.configs.push_back(only);
+  const MapResult r = DecoupledMapper(opt).map_portfolio(dfg, arch, popt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.portfolio_config, 0);
+}
+
+TEST(Portfolio, BatchMappingMatchesIndividual) {
+  std::vector<const Dfg*> dfgs;
+  for (const char* name : {"gsm", "fft", "susan"}) {
+    dfgs.push_back(&benchmark_by_name(name).dfg);
+  }
+  const CgraArch arch = CgraArch::square(4);
+  DecoupledMapperOptions opt;
+  opt.timeout_s = 60.0;
+  const DecoupledMapper mapper(opt);
+  const std::vector<MapResult> batch = mapper.map_batch(dfgs, arch, 3);
+  ASSERT_EQ(batch.size(), dfgs.size());
+  for (std::size_t i = 0; i < dfgs.size(); ++i) {
+    const MapResult solo = mapper.map(*dfgs[i], arch);
+    EXPECT_EQ(batch[i].success, solo.success);
+    if (batch[i].success && solo.success) {
+      EXPECT_EQ(batch[i].ii, solo.ii);
+      EXPECT_TRUE(mapping_is_valid(*dfgs[i], arch, batch[i].mapping));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monomap

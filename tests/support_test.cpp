@@ -6,6 +6,7 @@
 
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/pe_set.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -97,6 +98,108 @@ TEST(Deadline, ZeroBudgetExpiresImmediately) {
   const Deadline d(0.0);
   EXPECT_TRUE(d.expired());
   EXPECT_EQ(d.remaining_s(), 0.0);
+}
+
+TEST(PeSet, SetTestResetAndCount) {
+  PeSet s(100);
+  EXPECT_EQ(s.capacity(), 100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  s.set(0);
+  s.set(63);
+  s.set(64);  // crosses the word boundary
+  s.set(99);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_FALSE(s.test(65));
+  s.reset(63);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.any());
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(PeSet, FullRespectsCapacityTail) {
+  // 70 is deliberately not a multiple of 64: the last word must be trimmed
+  // or count() would see phantom high bits.
+  const PeSet s = PeSet::full(70);
+  EXPECT_EQ(s.count(), 70);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(69));
+  const PeSet word = PeSet::full(64);
+  EXPECT_EQ(word.count(), 64);
+}
+
+TEST(PeSet, IntersectionUnionDifference) {
+  PeSet a(130);
+  PeSet b(130);
+  a.set(1);
+  a.set(80);
+  a.set(129);
+  b.set(80);
+  b.set(129);
+  b.set(2);
+  PeSet i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 2);
+  EXPECT_TRUE(i.test(80));
+  EXPECT_TRUE(i.test(129));
+  PeSet u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 4);
+  PeSet d = a;
+  d.and_not(b);
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_TRUE(a.intersects(b));
+  PeSet disjoint(130);
+  disjoint.set(5);
+  EXPECT_FALSE(a.intersects(disjoint));
+}
+
+TEST(PeSet, IterationOrderIsAscending) {
+  PeSet s(400);  // a 20x20 grid: several words
+  const int members[] = {0, 1, 63, 64, 65, 127, 128, 399};
+  for (const int m : members) s.set(m);
+  std::vector<int> seen;
+  s.for_each([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, std::vector<int>(std::begin(members), std::end(members)));
+  EXPECT_EQ(s.find_first(), 0);
+  EXPECT_EQ(s.find_next(1), 63);
+  EXPECT_EQ(s.find_next(128), 399);
+  EXPECT_EQ(s.find_next(399), -1);
+  EXPECT_EQ(PeSet(64).find_first(), -1);
+}
+
+TEST(PeSet, EqualityAndWordAccess) {
+  PeSet a(65);
+  PeSet b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.num_words(), 2);
+  const PeSet::Word saved = a.word(1);
+  a.set_word(1, 0);
+  EXPECT_EQ(a, b);
+  a.set_word(1, saved);
+  EXPECT_TRUE(a.test(64));
+}
+
+TEST(Deadline, CancelTokenForcesExpiry) {
+  CancelToken token;
+  const Deadline d(1e6, &token);
+  EXPECT_FALSE(d.expired());
+  token.cancel();
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(d.expired());
+  // A deadline without a token is unaffected by cancellation elsewhere.
+  const Deadline plain(1e6);
+  token.cancel();
+  EXPECT_FALSE(plain.expired());
 }
 
 TEST(Log, ParseLevels) {

@@ -37,6 +37,7 @@ struct CliOptions {
   double timeout_s = 30.0;
   std::string mapper = "decoupled";
   bool restricted = false;
+  int threads = 0;  // portfolio mapper: 0 = auto
   std::string out;
 };
 
@@ -46,8 +47,8 @@ struct CliOptions {
       "  list\n"
       "  show <bench|file.dfg>\n"
       "  map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]\n"
-      "      [--timeout S] [--mapper decoupled|coupled|anneal]\n"
-      "      [--restricted] [--out FILE]\n"
+      "      [--timeout S] [--mapper decoupled|portfolio|coupled|anneal]\n"
+      "      [--threads N] [--restricted] [--out FILE]\n"
       "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
   std::exit(2);
 }
@@ -86,6 +87,8 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       opt.timeout_s = std::atof(value().c_str());
     } else if (arg == "--mapper") {
       opt.mapper = value();
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(value().c_str());
     } else if (arg == "--restricted") {
       opt.restricted = true;
     } else if (arg == "--out") {
@@ -137,13 +140,25 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   std::optional<Mapping> mapping;
   int ii = 0;
   double seconds = 0.0;
-  if (opt.mapper == "decoupled") {
+  if (opt.mapper == "decoupled" || opt.mapper == "portfolio") {
     DecoupledMapperOptions mopt;
     mopt.timeout_s = opt.timeout_s;
     if (opt.restricted) {
       mopt.space.model = MrrgModel::kConsecutiveOnly;
     }
-    const MapResult r = DecoupledMapper(mopt).map(dfg, arch);
+    const DecoupledMapper mapper(mopt);
+    MapResult r;
+    if (opt.mapper == "portfolio") {
+      PortfolioOptions popt;
+      popt.num_threads = opt.threads;
+      r = mapper.map_portfolio(dfg, arch, popt);
+      if (r.success) {
+        std::cout << "portfolio winner: config #" << r.portfolio_config
+                  << '\n';
+      }
+    } else {
+      r = mapper.map(dfg, arch);
+    }
     if (r.success) {
       mapping = r.mapping;
       ii = r.ii;
