@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_constraints.dir/bench/bench_ablation_constraints.cpp.o"
+  "CMakeFiles/bench_ablation_constraints.dir/bench/bench_ablation_constraints.cpp.o.d"
+  "bench_ablation_constraints"
+  "bench_ablation_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

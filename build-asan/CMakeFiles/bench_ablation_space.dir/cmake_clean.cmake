@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_space.dir/bench/bench_ablation_space.cpp.o"
+  "CMakeFiles/bench_ablation_space.dir/bench/bench_ablation_space.cpp.o.d"
+  "bench_ablation_space"
+  "bench_ablation_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

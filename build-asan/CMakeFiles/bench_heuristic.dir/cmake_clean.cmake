@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic.dir/bench/bench_heuristic.cpp.o"
+  "CMakeFiles/bench_heuristic.dir/bench/bench_heuristic.cpp.o.d"
+  "bench_heuristic"
+  "bench_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_space.dir/bench/bench_micro_space.cpp.o"
+  "CMakeFiles/bench_micro_space.dir/bench/bench_micro_space.cpp.o.d"
+  "bench_micro_space"
+  "bench_micro_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_kms.dir/bench/bench_table1_kms.cpp.o"
+  "CMakeFiles/bench_table1_kms.dir/bench/bench_table1_kms.cpp.o.d"
+  "bench_table1_kms"
+  "bench_table1_kms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_arch.dir/examples/custom_arch.cpp.o"
+  "CMakeFiles/custom_arch.dir/examples/custom_arch.cpp.o.d"
+  "custom_arch"
+  "custom_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

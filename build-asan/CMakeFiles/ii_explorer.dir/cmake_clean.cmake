@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ii_explorer.dir/examples/ii_explorer.cpp.o"
+  "CMakeFiles/ii_explorer.dir/examples/ii_explorer.cpp.o.d"
+  "ii_explorer"
+  "ii_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ii_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_suite.dir/examples/map_suite.cpp.o"
+  "CMakeFiles/map_suite.dir/examples/map_suite.cpp.o.d"
+  "map_suite"
+  "map_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cgra.cpp" "CMakeFiles/monomap.dir/src/arch/cgra.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/arch/cgra.cpp.o.d"
+  "/root/repo/src/arch/mrrg.cpp" "CMakeFiles/monomap.dir/src/arch/mrrg.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/arch/mrrg.cpp.o.d"
+  "/root/repo/src/encode/cnf_builder.cpp" "CMakeFiles/monomap.dir/src/encode/cnf_builder.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/encode/cnf_builder.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/monomap.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "CMakeFiles/monomap.dir/src/graph/dot.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/monomap.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/io/dfg_io.cpp" "CMakeFiles/monomap.dir/src/io/dfg_io.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/io/dfg_io.cpp.o.d"
+  "/root/repo/src/ir/dfg.cpp" "CMakeFiles/monomap.dir/src/ir/dfg.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/ir/dfg.cpp.o.d"
+  "/root/repo/src/ir/interpreter.cpp" "CMakeFiles/monomap.dir/src/ir/interpreter.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/ir/interpreter.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "CMakeFiles/monomap.dir/src/ir/kernel.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/ir/kernel.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "CMakeFiles/monomap.dir/src/ir/opcode.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/ir/opcode.cpp.o.d"
+  "/root/repo/src/mapper/annealing_mapper.cpp" "CMakeFiles/monomap.dir/src/mapper/annealing_mapper.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/annealing_mapper.cpp.o.d"
+  "/root/repo/src/mapper/config_gen.cpp" "CMakeFiles/monomap.dir/src/mapper/config_gen.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/config_gen.cpp.o.d"
+  "/root/repo/src/mapper/coupled_mapper.cpp" "CMakeFiles/monomap.dir/src/mapper/coupled_mapper.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/coupled_mapper.cpp.o.d"
+  "/root/repo/src/mapper/decoupled_mapper.cpp" "CMakeFiles/monomap.dir/src/mapper/decoupled_mapper.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/decoupled_mapper.cpp.o.d"
+  "/root/repo/src/mapper/mapping.cpp" "CMakeFiles/monomap.dir/src/mapper/mapping.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/mapping.cpp.o.d"
+  "/root/repo/src/mapper/modulo_expansion.cpp" "CMakeFiles/monomap.dir/src/mapper/modulo_expansion.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/modulo_expansion.cpp.o.d"
+  "/root/repo/src/mapper/reg_pressure.cpp" "CMakeFiles/monomap.dir/src/mapper/reg_pressure.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/reg_pressure.cpp.o.d"
+  "/root/repo/src/mapper/routing_transform.cpp" "CMakeFiles/monomap.dir/src/mapper/routing_transform.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/mapper/routing_transform.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "CMakeFiles/monomap.dir/src/sat/dimacs.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/monomap.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/sched/asap_alap.cpp" "CMakeFiles/monomap.dir/src/sched/asap_alap.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sched/asap_alap.cpp.o.d"
+  "/root/repo/src/sched/kms.cpp" "CMakeFiles/monomap.dir/src/sched/kms.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sched/kms.cpp.o.d"
+  "/root/repo/src/sched/mii.cpp" "CMakeFiles/monomap.dir/src/sched/mii.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sched/mii.cpp.o.d"
+  "/root/repo/src/sched/mobility.cpp" "CMakeFiles/monomap.dir/src/sched/mobility.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sched/mobility.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/monomap.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/space/monomorphism.cpp" "CMakeFiles/monomap.dir/src/space/monomorphism.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/space/monomorphism.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "CMakeFiles/monomap.dir/src/support/log.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/support/log.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/monomap.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/timing/time_formulation.cpp" "CMakeFiles/monomap.dir/src/timing/time_formulation.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/timing/time_formulation.cpp.o.d"
+  "/root/repo/src/timing/time_solver.cpp" "CMakeFiles/monomap.dir/src/timing/time_solver.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/timing/time_solver.cpp.o.d"
+  "/root/repo/src/workloads/running_example.cpp" "CMakeFiles/monomap.dir/src/workloads/running_example.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/workloads/running_example.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "CMakeFiles/monomap.dir/src/workloads/suite.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/workloads/suite.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "CMakeFiles/monomap.dir/src/workloads/synthetic.cpp.o" "gcc" "CMakeFiles/monomap.dir/src/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monomap_cli.dir/tools/monomap_cli.cpp.o"
+  "CMakeFiles/monomap_cli.dir/tools/monomap_cli.cpp.o.d"
+  "monomap"
+  "monomap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monomap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

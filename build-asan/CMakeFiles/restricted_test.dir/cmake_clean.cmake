@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restricted_test.dir/tests/restricted_test.cpp.o"
+  "CMakeFiles/restricted_test.dir/tests/restricted_test.cpp.o.d"
+  "restricted_test"
+  "restricted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restricted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

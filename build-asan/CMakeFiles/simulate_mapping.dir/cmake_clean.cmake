@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_mapping.dir/examples/simulate_mapping.cpp.o"
+  "CMakeFiles/simulate_mapping.dir/examples/simulate_mapping.cpp.o.d"
+  "simulate_mapping"
+  "simulate_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

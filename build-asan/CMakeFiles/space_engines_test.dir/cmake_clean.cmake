@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_engines_test.dir/tests/space_engines_test.cpp.o"
+  "CMakeFiles/space_engines_test.dir/tests/space_engines_test.cpp.o.d"
+  "space_engines_test"
+  "space_engines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
