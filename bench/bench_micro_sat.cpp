@@ -93,6 +93,94 @@ void BM_SequentialCounterEncoding(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialCounterEncoding)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_AssumptionReuseVsRebuild(benchmark::State& state) {
+  // The incremental time session's query pattern: one formula, a sequence
+  // of closely related queries under rotating selector assumptions.
+  // Arg 0 == 0: ONE warm solver answers all queries (learnt clauses and
+  // activities retained). Arg 0 == 1: a fresh solver per query (the
+  // rebuild-per-instance reference pattern). Reported counters expose the
+  // reuse (learnt clauses retained across queries, assumptions used).
+  const int holes = 7;
+  const int queries = 8;
+  std::uint64_t learnt_retained = 0;
+  std::uint64_t assumptions_used = 0;
+  auto build_guarded_php = [&](SatSolver& solver,
+                               std::vector<SatVar>& guards) {
+    // PHP(holes+1, holes), with each pigeon's at-least-one row guarded by
+    // one of `queries` selector literals — assuming selector q activates
+    // the contradiction, exactly like a horizon selector activates a
+    // window.
+    for (int q = 0; q < queries; ++q) guards.push_back(solver.new_var());
+    std::vector<std::vector<Lit>> pigeon(static_cast<std::size_t>(holes + 1));
+    std::vector<std::vector<Lit>> hole(static_cast<std::size_t>(holes));
+    CnfBuilder cnf(solver);
+    for (int p = 0; p <= holes; ++p) {
+      for (int h = 0; h < holes; ++h) {
+        const Lit l = Lit::pos(solver.new_var());
+        pigeon[static_cast<std::size_t>(p)].push_back(l);
+        hole[static_cast<std::size_t>(h)].push_back(l);
+      }
+    }
+    for (const auto& row : pigeon) {
+      for (int q = 0; q < queries; ++q) {
+        std::vector<Lit> clause = row;
+        clause.push_back(Lit::neg(guards[static_cast<std::size_t>(q)]));
+        solver.add_clause(std::move(clause));
+      }
+    }
+    for (const auto& col : hole) cnf.at_most_one(col);
+  };
+  const bool fresh_per_query = state.range(0) == 1;
+  for (auto _ : state) {
+    if (fresh_per_query) {
+      for (int q = 0; q < queries; ++q) {
+        SatSolver solver;
+        std::vector<SatVar> guards;
+        build_guarded_php(solver, guards);
+        ++assumptions_used;
+        benchmark::DoNotOptimize(solver.solve_assuming(
+            {Lit::pos(guards[static_cast<std::size_t>(q)])}));
+      }
+    } else {
+      SatSolver solver;
+      std::vector<SatVar> guards;
+      build_guarded_php(solver, guards);
+      for (int q = 0; q < queries; ++q) {
+        ++assumptions_used;
+        benchmark::DoNotOptimize(solver.solve_assuming(
+            {Lit::pos(guards[static_cast<std::size_t>(q)])}));
+        learnt_retained +=
+            static_cast<std::uint64_t>(solver.num_learnts());
+      }
+    }
+  }
+  state.counters["learnt_retained"] = benchmark::Counter(
+      static_cast<double>(learnt_retained), benchmark::Counter::kAvgIterations);
+  state.counters["assumptions_used"] = benchmark::Counter(
+      static_cast<double>(assumptions_used), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_AssumptionReuseVsRebuild)->Arg(0)->Arg(1);
+
+void BM_FailedAssumptionExtraction(benchmark::State& state) {
+  // Long implication chains; assuming head and ~tail is refuted and the
+  // final-conflict analysis must name only the two culprits.
+  const int n = static_cast<int>(state.range(0));
+  SatSolver solver;
+  std::vector<SatVar> v;
+  for (int i = 0; i < n; ++i) v.push_back(solver.new_var());
+  for (int i = 0; i + 1 < n; ++i) {
+    solver.add_binary(Lit::neg(v[static_cast<std::size_t>(i)]),
+                      Lit::pos(v[static_cast<std::size_t>(i + 1)]));
+  }
+  for (auto _ : state) {
+    const SatStatus status = solver.solve_assuming(
+        {Lit::pos(v[0]), Lit::neg(v[static_cast<std::size_t>(n - 1)])});
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(solver.failed_assumptions().size());
+  }
+}
+BENCHMARK(BM_FailedAssumptionExtraction)->Arg(256)->Arg(4096);
+
 void BM_IncrementalBlocking(benchmark::State& state) {
   // Model enumeration via blocking clauses — the decoupled mapper's retry
   // pattern.

@@ -116,6 +116,15 @@ int main(int argc, char** argv) {
         json.field("schedules_tried", mono.schedules_tried);
         json.field("space_nodes_expanded", mono.last_space.nodes_expanded);
         json.field("space_backtracks", mono.last_space.backtracks);
+        // Per-II solver-reuse stats of the incremental time engine.
+        json.field("time_sat_calls", mono.time_stats.sat_calls);
+        json.field("time_sessions", mono.time_stats.sessions_created);
+        json.field("time_horizon_extensions",
+                   mono.time_stats.horizon_extensions);
+        json.field("time_assumptions_used", mono.time_stats.assumptions_used);
+        json.field("time_learnt_retained", mono.time_stats.learnt_retained);
+        json.field("time_nogoods_added", mono.time_stats.nogoods_added);
+        json.field("time_narrow_nogoods", mono.time_stats.narrow_nogoods);
         json.field("baseline_success", !base_to);
         json.field("baseline_s", base.total_s);
         json.field("ii", mono_to ? -1 : mono.ii);

@@ -91,6 +91,14 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
     // it is hopeless): block it and retry; after repeated failures at the
     // same II, give the II up — connectivity constraints are necessary but
     // not sufficient, so some IIs admit schedules yet no placement.
+    //
+    // A complete space exhaustion additionally carries a conflict
+    // explanation — a node subset that can never co-occupy these slots.
+    // Feed it back as a time-phase nogood so the time search skips every
+    // schedule repeating those placements, not just this label vector.
+    if (!space.timed_out && !space.conflict_nodes.empty()) {
+      time_solver.add_space_nogood(*schedule, space.conflict_nodes);
+    }
     ++failures_at_current_ii;
     MONOMAP_DEBUG("space failed at II=" << schedule->ii << " ("
                                         << space.failure_reason << "), retry "
@@ -195,10 +203,23 @@ MapResult DecoupledMapper::map_portfolio(const Dfg& dfg, const CgraArch& arch,
 std::vector<MapResult> DecoupledMapper::map_batch(
     const std::vector<const Dfg*>& dfgs, const CgraArch& arch,
     int num_threads) const {
+  // One budget for the whole batch. Historically every item silently got
+  // its own full options_.timeout_s, so a batch could run items * timeout.
+  const Deadline deadline = options_.timeout_s > 0
+                                ? Deadline(options_.timeout_s)
+                                : Deadline::unlimited();
+  return map_batch(dfgs, arch, deadline, num_threads);
+}
+
+std::vector<MapResult> DecoupledMapper::map_batch(
+    const std::vector<const Dfg*>& dfgs, const CgraArch& arch,
+    const Deadline& deadline, int num_threads) const {
   std::vector<MapResult> results(dfgs.size());
   parallel_for_indices(
-      static_cast<int>(dfgs.size()), num_threads,
-      [&](int i) { results[static_cast<std::size_t>(i)] = map(*dfgs[static_cast<std::size_t>(i)], arch); });
+      static_cast<int>(dfgs.size()), num_threads, [&](int i) {
+        results[static_cast<std::size_t>(i)] =
+            map(*dfgs[static_cast<std::size_t>(i)], arch, deadline);
+      });
   return results;
 }
 

@@ -91,9 +91,17 @@ class DecoupledMapper {
 
   /// Map a whole batch of DFGs across `num_threads` worker threads
   /// (0 = hardware concurrency). Results are positionally aligned with
-  /// `dfgs`; each solve gets its own options_.timeout_s budget.
+  /// `dfgs`. The whole batch shares ONE options_.timeout_s budget.
   std::vector<MapResult> map_batch(const std::vector<const Dfg*>& dfgs,
                                    const CgraArch& arch,
+                                   int num_threads = 0) const;
+
+  /// Like the above, but every item observes the externally supplied
+  /// shared `deadline` — including its CancelToken, so a caller can cut an
+  /// entire in-flight batch short. options_.timeout_s is ignored.
+  std::vector<MapResult> map_batch(const std::vector<const Dfg*>& dfgs,
+                                   const CgraArch& arch,
+                                   const Deadline& deadline,
                                    int num_threads = 0) const;
 
  private:

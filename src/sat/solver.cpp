@@ -137,6 +137,14 @@ struct SatSolver::Impl {
   double var_decay = 0.95;
   double cla_inc = 1.0;
 
+  // Assumption literals of the current solve_assuming() call (one decision
+  // level each, placed before any free decision), the failed subset of the
+  // last assumption-refuted call, and whether the last kUnsat was only
+  // relative to the assumptions (the formula itself stays usable).
+  std::vector<Lit> assumptions;
+  std::vector<Lit> conflict;
+  bool assumption_failed = false;
+
   std::vector<bool> model;
   SatStats stats;
 
@@ -387,6 +395,39 @@ struct SatSolver::Impl {
     return learnt.size() == 1 ? 0 : bt;
   }
 
+  /// `failed` is an assumption literal found false while placing the
+  /// assumptions. Walk its implication ancestry down the trail and collect
+  /// the assumption (decision) literals the refutation rests on — MiniSat's
+  /// analyzeFinal, except `conflict` stores the failed assumptions
+  /// themselves rather than their negations. Must run before backtracking.
+  void analyze_final(Lit failed) {
+    conflict.clear();
+    conflict.push_back(failed);
+    if (decision_level() == 0) return;
+    seen[static_cast<std::size_t>(failed.var())] = true;
+    for (int i = static_cast<int>(trail.size()) - 1;
+         i >= trail_lim[0]; --i) {
+      const SatVar x = trail[static_cast<std::size_t>(i)].var();
+      if (!seen[static_cast<std::size_t>(x)]) continue;
+      seen[static_cast<std::size_t>(x)] = false;
+      Clause* r = reason[static_cast<std::size_t>(x)];
+      if (r == nullptr) {
+        // A decision above level 0 is always one of the assumptions.
+        MONOMAP_ASSERT(level[static_cast<std::size_t>(x)] > 0);
+        conflict.push_back(trail[static_cast<std::size_t>(i)]);
+      } else {
+        for (const Lit q : r->lits) {
+          if (q.var() != x && level[static_cast<std::size_t>(q.var())] > 0) {
+            seen[static_cast<std::size_t>(q.var())] = true;
+          }
+        }
+      }
+    }
+    // If ~failed was implied at level 0 the loop never visits it; the
+    // refutation is {failed} against the formula alone.
+    seen[static_cast<std::size_t>(failed.var())] = false;
+  }
+
   [[nodiscard]] int compute_lbd(const std::vector<Lit>& lits) {
     // Number of distinct decision levels.
     if (lbd_stamp.size() < assigns.size() + 1) {
@@ -501,9 +542,32 @@ struct SatSolver::Impl {
             decision_level() == 0) {
           reduce_db();
         }
-        const Lit next = pick_branch();
+        // Place pending assumptions first, one decision level each (decision
+        // level i+1 holds assumptions[i]). Restarts and backjumps into the
+        // assumption prefix re-enter this loop and re-place the tail.
+        Lit next;
+        while (decision_level() <
+               static_cast<int>(assumptions.size())) {
+          const Lit p =
+              assumptions[static_cast<std::size_t>(decision_level())];
+          if (value(p) == LBool::kTrue) {
+            // Already implied: dedicate an empty level to keep the
+            // level <-> assumption-index correspondence.
+            trail_lim.push_back(static_cast<int>(trail.size()));
+          } else if (value(p) == LBool::kFalse) {
+            analyze_final(p);
+            assumption_failed = true;
+            return SatStatus::kUnsat;
+          } else {
+            next = p;
+            break;
+          }
+        }
         if (next.code() == kLitUndefCode) {
-          return SatStatus::kSat;
+          next = pick_branch();
+          if (next.code() == kLitUndefCode) {
+            return SatStatus::kSat;
+          }
         }
         trail_lim.push_back(static_cast<int>(trail.size()));
         enqueue(next, nullptr);
@@ -567,8 +631,17 @@ bool SatSolver::add_clause(std::vector<Lit> lits) {
 
 SatStatus SatSolver::solve(const Deadline& deadline,
                            std::uint64_t conflict_budget) {
+  return solve_assuming({}, deadline, conflict_budget);
+}
+
+SatStatus SatSolver::solve_assuming(const std::vector<Lit>& assumptions,
+                                    const Deadline& deadline,
+                                    std::uint64_t conflict_budget) {
   Impl& s = *impl_;
+  s.conflict.clear();
+  s.assumption_failed = false;
   if (!s.ok) return SatStatus::kUnsat;
+  s.assumptions = assumptions;
   s.cancel_until(0);
   if (s.propagate() != nullptr) {
     s.ok = false;
@@ -587,19 +660,37 @@ SatStatus SatSolver::solve(const Deadline& deadline,
         s.model[v] = (s.assigns[v] == LBool::kTrue);
       }
       s.cancel_until(0);
+      s.assumptions.clear();
       return SatStatus::kSat;
     }
     if (status == SatStatus::kUnsat) {
-      s.ok = false;
+      // A refutation that rests on assumptions leaves the formula alive;
+      // only an assumption-free (level-0) refutation poisons the solver.
+      if (!s.assumption_failed) s.ok = false;
       s.cancel_until(0);
+      s.assumptions.clear();
       return SatStatus::kUnsat;
     }
     s.cancel_until(0);
-    if (deadline.expired()) return SatStatus::kUnknown;
-    if (budget_base != 0 && s.stats.conflicts >= budget_base) {
+    if (deadline.expired() ||
+        (budget_base != 0 && s.stats.conflicts >= budget_base)) {
+      s.assumptions.clear();
       return SatStatus::kUnknown;
     }
   }
+}
+
+const std::vector<Lit>& SatSolver::failed_assumptions() const {
+  return impl_->conflict;
+}
+
+int SatSolver::num_learnts() const {
+  return static_cast<int>(impl_->learnts.size());
+}
+
+void SatSolver::set_polarity(SatVar v, bool phase) {
+  MONOMAP_ASSERT(v >= 0 && v < num_vars());
+  impl_->polarity[static_cast<std::size_t>(v)] = phase;
 }
 
 bool SatSolver::model_value(SatVar v) const {

@@ -5,7 +5,11 @@
 // Feature set: two-watched-literal propagation, 1-UIP clause learning with
 // recursive minimisation, VSIDS decision heuristic with phase saving, Luby
 // restarts, LBD-based learned-clause reduction, incremental clause addition
-// between solve() calls, and wall-clock/conflict budgets.
+// between solve() calls, solve-under-assumptions with failed-assumption
+// (final conflict) extraction, and wall-clock/conflict budgets. Learnt
+// clauses, variable activities and saved phases persist across calls, so a
+// sequence of closely related queries (the time phase's horizon extensions
+// and blocking-clause re-solves) shares one warm solver.
 #ifndef MONOMAP_SAT_SOLVER_HPP
 #define MONOMAP_SAT_SOLVER_HPP
 
@@ -60,6 +64,33 @@ class SatSolver {
   /// (0 = unlimited conflicts).
   SatStatus solve(const Deadline& deadline = Deadline::unlimited(),
                   std::uint64_t conflict_budget = 0);
+
+  /// Solve with `assumptions` held as temporary decisions (MiniSat-style
+  /// incremental interface). A kUnsat result under non-empty assumptions
+  /// does NOT poison the solver: the formula may still be satisfiable under
+  /// different assumptions, and failed_assumptions() names the subset of
+  /// assumptions the refutation rests on. Learnt clauses survive the call.
+  SatStatus solve_assuming(const std::vector<Lit>& assumptions,
+                           const Deadline& deadline = Deadline::unlimited(),
+                           std::uint64_t conflict_budget = 0);
+
+  /// After solve_assuming() returned kUnsat: the (not necessarily minimal)
+  /// subset of the assumption literals whose joint propagation is
+  /// contradictory. Empty when the formula is unsatisfiable outright —
+  /// no horizon-activation assumption can revive it.
+  [[nodiscard]] const std::vector<Lit>& failed_assumptions() const;
+
+  /// Learnt clauses currently alive in the database (retained across
+  /// solve() calls; the incremental time session reports this as its
+  /// reuse statistic).
+  [[nodiscard]] int num_learnts() const;
+
+  /// Seed the decision phase of `v` (the polarity picked when the solver
+  /// branches on it). Overwritten by phase saving once the variable is
+  /// assigned during search; callers use this to bias the FIRST model
+  /// toward a preferred shape (the time session seeds space-friendly
+  /// schedules). Has no effect on satisfiability.
+  void set_polarity(SatVar v, bool phase);
 
   /// Value of `v` in the model found by the last solve() (kSat only).
   [[nodiscard]] bool model_value(SatVar v) const;

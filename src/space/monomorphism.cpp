@@ -41,6 +41,13 @@ bool check_labels(const Dfg& dfg, const CgraArch& arch,
     if (++count[static_cast<std::size_t>(l)] > arch.num_pes()) {
       result.failure_reason =
           "label layer " + std::to_string(l) + " exceeds CGRA capacity";
+      // Any |PEs|+1 nodes of the overfull layer are jointly unplaceable —
+      // the narrowest possible conflict explanation.
+      for (NodeId u = 0; u <= v; ++u) {
+        if (labels[static_cast<std::size_t>(u)] == l) {
+          result.conflict_nodes.push_back(u);
+        }
+      }
       return false;
     }
   }
@@ -63,6 +70,8 @@ bool check_slot_adjacency(const Dfg& dfg, const std::vector<int>& labels,
           "edge " + std::to_string(edge.src) + "->" +
           std::to_string(edge.dst) +
           " spans non-consecutive slots under kConsecutiveOnly";
+      result.conflict_nodes = {std::min(edge.src, edge.dst),
+                               std::max(edge.src, edge.dst)};
       return false;
     }
   }
@@ -236,6 +245,7 @@ class BitsetSearcher {
       result.seconds = watch.elapsed_s();
       return result;
     }
+    in_conflict_.assign(static_cast<std::size_t>(n_), false);
     result.found = n_ == 0 ? true : search(0, result);
     // The no-steady-state-allocation invariant: the preallocated trail was
     // never outgrown (a regrowth would mean the capacity bound is wrong).
@@ -245,6 +255,18 @@ class BitsetSearcher {
     } else if (result.failure_reason.empty()) {
       result.failure_reason = result.timed_out ? "search budget exhausted"
                                                : "search space exhausted";
+      if (!result.timed_out) {
+        // Complete exhaustion: the failure proof only ever branched on or
+        // wiped out the marked nodes, and their domains were narrowed only
+        // by assignments to marked nodes — so the proof is equally a proof
+        // that the marked subset alone cannot be placed (see
+        // SpaceResult::conflict_nodes).
+        for (NodeId v = 0; v < n_; ++v) {
+          if (in_conflict_[static_cast<std::size_t>(v)]) {
+            result.conflict_nodes.push_back(v);
+          }
+        }
+      }
     }
     result.seconds = watch.elapsed_s();
     return result;
@@ -306,13 +328,19 @@ class BitsetSearcher {
     // PE p's slot at v's label is now occupied (mono1).
     for (const NodeId u : nodes_by_label_[static_cast<std::size_t>(label)]) {
       if (assigned(u)) continue;
-      if (!remove_from_domain(u, p)) return false;
+      if (!remove_from_domain(u, p)) {
+        in_conflict_[static_cast<std::size_t>(u)] = true;
+        return false;
+      }
     }
     // Unassigned neighbours must land in N[p] (mono3); a same-label
     // neighbour additionally lost p itself above.
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
       if (assigned(u)) continue;
-      if (!intersect_domain(u, arch_.closed_neighbor_mask(p))) return false;
+      if (!intersect_domain(u, arch_.closed_neighbor_mask(p))) {
+        in_conflict_[static_cast<std::size_t>(u)] = true;
+        return false;
+      }
     }
     return true;
   }
@@ -376,6 +404,7 @@ class BitsetSearcher {
     }
     const NodeId v = select_node(depth);
     MONOMAP_ASSERT(v != kInvalidNode);
+    in_conflict_[static_cast<std::size_t>(v)] = true;
     // First placement: restrict to the canonical octant unless that empties
     // the candidate set (mirrors the reference engine exactly).
     const bool canonical_only = depth == 0 && canonical_.capacity() > 0 &&
@@ -426,6 +455,7 @@ class BitsetSearcher {
   std::vector<std::vector<NodeId>> nodes_by_label_;
   std::vector<PeId> assignment_;
   std::vector<int> mapped_neighbor_count_;
+  std::vector<bool> in_conflict_;  // branched-on or wiped-out nodes
   std::vector<PeSet> domain_;
   std::vector<TrailEntry> trail_;
   std::size_t trail_reserved_ = 0;
@@ -486,6 +516,13 @@ class ReferenceSearcher {
     } else if (result.failure_reason.empty()) {
       result.failure_reason = result.timed_out ? "search budget exhausted"
                                                : "search space exhausted";
+      if (!result.timed_out) {
+        // The scan engine keeps no touched-set bookkeeping; the full node
+        // set is the (trivially sound) conflict explanation.
+        for (NodeId v = 0; v < dfg_.num_nodes(); ++v) {
+          result.conflict_nodes.push_back(v);
+        }
+      }
     }
     result.seconds = watch.elapsed_s();
     return result;

@@ -81,6 +81,16 @@ struct SpaceResult {
   std::uint64_t backtracks = 0;
   double seconds = 0.0;
   std::string failure_reason;
+  /// Conflict explanation, set only when the search *exhausted* the space
+  /// (found == false, timed_out == false): a subset of DFG nodes whose
+  /// induced sub-DFG, with these slot labels, already admits no placement —
+  /// adding more nodes only tightens the problem, so any schedule that
+  /// gives exactly these slots to these nodes is spatially infeasible. The
+  /// bitset engine reports the set of nodes its failure proof ever branched
+  /// on or wiped out (usually a strict subset); the reference engine and
+  /// the precheck failures report coarser but still sound sets. The
+  /// decoupled mapper turns this into a time-phase nogood clause.
+  std::vector<NodeId> conflict_nodes;
 };
 
 /// Search for a monomorphism of `dfg` (with per-node slot `labels`, values

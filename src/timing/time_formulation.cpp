@@ -186,6 +186,21 @@ bool TimeFormulation::block_labels(const TimeSolution& solution) {
   return solver_.add_clause(std::move(clause));
 }
 
+bool TimeFormulation::add_label_nogood(
+    const std::vector<std::pair<NodeId, int>>& placements) {
+  std::vector<Lit> clause;
+  clause.reserve(placements.size());
+  for (const auto& [v, slot] : placements) {
+    MONOMAP_ASSERT(slot >= 0 && slot < ii_);
+    const auto y = y_lit(v, slot);
+    // No window step of v reaches this slot here: the placement cannot be
+    // realised, so the nogood holds vacuously.
+    if (!y.has_value()) return true;
+    clause.push_back(~*y);
+  }
+  return solver_.add_clause(std::move(clause));
+}
+
 TimeFormulationStats TimeFormulation::stats() const {
   return TimeFormulationStats{solver_.num_vars(), solver_.num_clauses()};
 }

@@ -19,6 +19,7 @@
 #define MONOMAP_TIMING_TIME_FORMULATION_HPP
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "arch/cgra.hpp"
@@ -85,6 +86,15 @@ class TimeFormulation {
   /// yields a schedule with a different slot assignment. Returns false if
   /// the formula became unsatisfiable.
   bool block_labels(const TimeSolution& solution);
+
+  /// Forbid every schedule that realises all of the given (node, slot)
+  /// placements simultaneously — the reference-path application of a
+  /// space-conflict nogood (TimeSolver re-applies these after each
+  /// rebuild). Placements a node can never reach in this instance satisfy
+  /// the nogood vacuously. Returns false if the formula became
+  /// unsatisfiable.
+  bool add_label_nogood(
+      const std::vector<std::pair<NodeId, int>>& placements);
 
   [[nodiscard]] int ii() const { return ii_; }
   [[nodiscard]] int horizon() const { return mobs_.length(); }

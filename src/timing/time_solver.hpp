@@ -1,24 +1,52 @@
 // Time-dimension search driver (paper Sec. IV-B).
 //
-// Sweeps II upward from mII. For each II it builds the SAT formulation over
-// the KMS (optionally with extended schedule horizons, which add mobility
-// slack exactly like SAT-MapIt's iterative schedule extension) and yields
-// schedules. The caller (DecoupledMapper) may ask for further, different-
-// labelled schedules after a space failure; the solver blocks the previous
-// label vector and re-solves incrementally.
+// Sweeps II upward from mII. For each II it searches the KMS (optionally
+// with extended schedule horizons, which add mobility slack exactly like
+// SAT-MapIt's iterative schedule extension) and yields schedules. The
+// caller (DecoupledMapper) may ask for further, different-labelled
+// schedules after a space failure — and may feed the space phase's
+// conflict explanation back as a nogood that prunes whole families of
+// schedules, not just the failed label vector.
+//
+// Two engines drive the search:
+//  * TimeEngine::kIncremental (default) — one persistent TimeSession (one
+//    warm SAT solver) per II serves every horizon extension via
+//    assumption literals; learnt clauses, blocked label vectors and
+//    space-conflict nogoods all survive horizon extension.
+//  * TimeEngine::kReference — the original rebuild-per-instance path (a
+//    fresh TimeFormulation per (II, extension)), kept as the independent
+//    oracle for differential testing, mirroring the PR 3 space-engine
+//    pattern.
 #ifndef MONOMAP_TIMING_TIME_SOLVER_HPP
 #define MONOMAP_TIMING_TIME_SOLVER_HPP
 
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "sched/mii.hpp"
 #include "timing/time_formulation.hpp"
+#include "timing/time_session.hpp"
 
 namespace monomap {
 
+/// Time-search engine (see tests/time_engines_test.cpp for the
+/// differential harness).
+enum class TimeEngine {
+  /// Persistent per-II session: incremental horizon extension under
+  /// assumption literals, learnt-clause reuse, nogood accumulation.
+  kIncremental,
+  /// Rebuild-per-instance reference path (nogoods are re-applied after
+  /// every rebuild so both engines prune the same schedules).
+  kReference,
+};
+
+const char* to_string(TimeEngine engine);
+
 struct TimeSolverOptions {
   TimeConstraintOptions constraints;
+  TimeEngine engine = TimeEngine::kIncremental;
   /// Highest II to try; 0 = automatic (max(mII, #nodes) — at II = #nodes a
   /// fully sequential schedule always satisfies capacity and connectivity).
   int max_ii = 0;
@@ -29,10 +57,19 @@ struct TimeSolverOptions {
 };
 
 struct TimeSolverStats {
-  int instances_built = 0;
+  int instances_built = 0;  // (II, extension) instances activated
   int sat_calls = 0;
   int solutions_yielded = 0;
   int final_ii = 0;
+  // Incremental-engine reuse counters (zero on the reference path where
+  // noted).
+  int sessions_created = 0;      // warm solvers built (one per II reached)
+  int horizon_extensions = 0;    // in-place window growths (kIncremental)
+  int assumptions_used = 0;      // assumption literals passed to solves
+  int learnt_retained = 0;       // learnt clauses alive after the last call
+  // Space-conflict feedback (both engines).
+  int nogoods_added = 0;         // nogood clauses recorded
+  int narrow_nogoods = 0;        // nogoods over a strict subset of nodes
   TimeFormulationStats last_formulation;
 };
 
@@ -57,6 +94,15 @@ class TimeSolver {
   /// false if II+1 exceeds max_ii.
   bool skip_to_next_ii();
 
+  /// Record a space-conflict nogood against the current II: the subset
+  /// `nodes` of `solution`'s nodes cannot jointly take their labelled
+  /// slots, so prune every schedule that repeats those placements. The
+  /// nogood persists across horizon extensions of the II (and rebuilds on
+  /// the reference path) and subsumes blocking `solution` itself. Returns
+  /// false if `solution` is not from the current II.
+  bool add_space_nogood(const TimeSolution& solution,
+                        const std::vector<NodeId>& nodes);
+
   [[nodiscard]] int current_ii() const { return ii_; }
   [[nodiscard]] bool timed_out() const { return timed_out_; }
   [[nodiscard]] const MiiBreakdown& mii() const { return mii_; }
@@ -64,6 +110,7 @@ class TimeSolver {
 
  private:
   bool advance_instance();  // move to next (ii, extension); false if done
+  void enter_next_ii();
 
   const Dfg& dfg_;
   const CgraArch& arch_;
@@ -72,8 +119,15 @@ class TimeSolver {
   int max_ii_;
   int ii_;
   int extension_ = 0;
+  // kReference engine state: one formulation per (ii, extension), plus the
+  // nogoods recorded at this II for re-application after each rebuild.
   std::unique_ptr<TimeFormulation> formulation_;
+  std::vector<std::vector<std::pair<NodeId, int>>> ii_nogoods_;
+  // kIncremental engine state: one warm session per II.
+  std::unique_ptr<TimeSession> session_;
+  int reseed_salt_ = 0;  // phase-diversification counter at this II
   std::optional<TimeSolution> last_solution_;
+  bool last_blocked_by_nogood_ = false;
   bool instance_ok_ = false;
   bool timed_out_ = false;
   TimeSolverStats stats_;

@@ -173,6 +173,41 @@ TEST(DecoupledMapper, RandomDfgsAlwaysValidate) {
   }
 }
 
+TEST(DecoupledMapper, MapBatchHonoursSharedDeadline) {
+  std::vector<const Dfg*> dfgs;
+  for (const char* name : {"gsm", "fft", "hotspot3D"}) {
+    dfgs.push_back(&benchmark_by_name(name).dfg);
+  }
+  const CgraArch arch = CgraArch::square(4);
+  const DecoupledMapper mapper(fast_options());
+  // An already-expired shared deadline must cut every item short — no item
+  // may fall back to its own private options_.timeout_s budget.
+  const std::vector<MapResult> results =
+      mapper.map_batch(dfgs, arch, Deadline(0.0), 2);
+  ASSERT_EQ(results.size(), dfgs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].success) << i;
+    EXPECT_TRUE(results[i].timed_out) << i;
+  }
+}
+
+TEST(DecoupledMapper, MapBatchObservesCancelToken) {
+  std::vector<const Dfg*> dfgs;
+  for (const char* name : {"gsm", "fft"}) {
+    dfgs.push_back(&benchmark_by_name(name).dfg);
+  }
+  const CgraArch arch = CgraArch::square(4);
+  CancelToken cancel;
+  cancel.cancel();
+  const Deadline deadline(1e9, &cancel);
+  const std::vector<MapResult> results =
+      DecoupledMapper(fast_options()).map_batch(dfgs, arch, deadline, 1);
+  for (const MapResult& r : results) {
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.timed_out);
+  }
+}
+
 TEST(Mapping, ValidatorCatchesBadTiming) {
   const Dfg dfg = Dfg::from_edges("pair", 2, {{0, 1, 0}});
   const CgraArch arch = CgraArch::square(2);

@@ -153,6 +153,113 @@ TEST(SatSolver, IncrementalBlockingClauseEnumeration) {
   EXPECT_EQ(models, 8);
 }
 
+TEST(SatSolver, AssumptionsHoldInModel) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  const SatVar y = s.new_var();
+  ASSERT_TRUE(s.add_binary(Lit::pos(x), Lit::pos(y)));
+  ASSERT_EQ(s.solve_assuming({Lit::neg(x)}), SatStatus::kSat);
+  EXPECT_FALSE(s.model_value(x));
+  EXPECT_TRUE(s.model_value(y));
+  // Opposite assumption, same solver.
+  ASSERT_EQ(s.solve_assuming({Lit::pos(x), Lit::neg(y)}), SatStatus::kSat);
+  EXPECT_TRUE(s.model_value(x));
+  EXPECT_FALSE(s.model_value(y));
+}
+
+TEST(SatSolver, FailedAssumptionsNameTheCulprits) {
+  // Implication chain x0 -> x1 -> ... -> x5; assuming x0 and ~x5 is
+  // contradictory, and the refutation must rest on (a subset of) exactly
+  // those two, not on the irrelevant free variable.
+  SatSolver s;
+  std::vector<SatVar> v;
+  for (int i = 0; i < 6; ++i) v.push_back(s.new_var());
+  const SatVar free_var = s.new_var();
+  for (int i = 0; i + 1 < 6; ++i) {
+    ASSERT_TRUE(s.add_binary(Lit::neg(v[static_cast<std::size_t>(i)]),
+                             Lit::pos(v[static_cast<std::size_t>(i + 1)])));
+  }
+  const std::vector<Lit> assumptions{Lit::pos(free_var), Lit::pos(v[0]),
+                                     Lit::neg(v[5])};
+  ASSERT_EQ(s.solve_assuming(assumptions), SatStatus::kUnsat);
+  const std::vector<Lit>& failed = s.failed_assumptions();
+  ASSERT_FALSE(failed.empty());
+  for (const Lit l : failed) {
+    EXPECT_NE(l.var(), free_var) << "irrelevant assumption blamed";
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+              assumptions.end())
+        << "failed literal is not an assumption";
+  }
+}
+
+TEST(SatSolver, AssumptionUnsatDoesNotPoisonTheSolver) {
+  // Guard literal g activates a pigeonhole contradiction; refuting under g
+  // must leave the solver usable (and its learnt clauses warm) for the
+  // next query — the incremental time session's usage pattern.
+  SatSolver s;
+  const int holes = 6;
+  const SatVar g = s.new_var();
+  CnfFormula php = pigeonhole(holes);
+  for (int i = 0; i < php.num_vars; ++i) s.new_var();
+  for (auto clause : php.clauses) {
+    std::vector<Lit> lits;
+    for (const int lit : clause) {
+      const SatVar v = (lit > 0 ? lit : -lit);  // php vars start at g+1
+      lits.push_back(Lit(v, lit < 0));
+    }
+    // Guard only the at-least-one rows; the at-most pairs are all-negative
+    // and satisfiable on their own.
+    if (clause[0] > 0) lits.push_back(Lit::neg(g));
+    ASSERT_TRUE(s.add_clause(lits));
+  }
+  ASSERT_EQ(s.solve_assuming({Lit::pos(g)}), SatStatus::kUnsat);
+  ASSERT_FALSE(s.failed_assumptions().empty());
+  EXPECT_EQ(s.failed_assumptions().front().var(), g);
+  const std::uint64_t learned = s.stats().learned_clauses;
+  EXPECT_GT(learned, 0u);
+  // The formula without the assumption is satisfiable, from the same
+  // (still-warm) solver.
+  EXPECT_EQ(s.solve(), SatStatus::kSat);
+  EXPECT_FALSE(s.model_value(g));
+}
+
+TEST(SatSolver, OutrightUnsatReportsNoFailedAssumptions) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  const SatVar y = s.new_var();
+  const SatVar a = s.new_var();
+  ASSERT_TRUE(s.add_unit(Lit::pos(x)));
+  ASSERT_TRUE(s.add_binary(Lit::neg(x), Lit::pos(y)));
+  // (~x | ~y) contradicts the two above at level 0.
+  EXPECT_FALSE(s.add_binary(Lit::neg(x), Lit::neg(y)));
+  EXPECT_EQ(s.solve_assuming({Lit::pos(a)}), SatStatus::kUnsat);
+  EXPECT_TRUE(s.failed_assumptions().empty());
+}
+
+TEST(SatSolver, ContradictoryAssumptionPair) {
+  SatSolver s;
+  const SatVar x = s.new_var();
+  ASSERT_EQ(s.solve_assuming({Lit::pos(x), Lit::neg(x)}),
+            SatStatus::kUnsat);
+  const std::vector<Lit>& failed = s.failed_assumptions();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_NE(failed[0], failed[1]);
+  EXPECT_EQ(failed[0].var(), x);
+  EXPECT_EQ(failed[1].var(), x);
+  EXPECT_EQ(s.solve(), SatStatus::kSat);
+}
+
+TEST(SatSolver, LearntClausesSurviveAcrossCalls) {
+  SatSolver s;
+  ASSERT_TRUE(load_into_solver(pigeonhole(5), s));
+  const SatVar a = s.new_var();
+  // PHP(6,5) is UNSAT regardless of the assumption; the second call starts
+  // from the first call's learnt clauses and refutes strictly faster.
+  ASSERT_EQ(s.solve_assuming({Lit::pos(a)}), SatStatus::kUnsat);
+  EXPECT_TRUE(s.failed_assumptions().empty());
+  EXPECT_GT(s.num_learnts(), 0);
+}
+
 TEST(SatSolver, ConflictBudgetReturnsUnknown) {
   SatSolver s;
   ASSERT_TRUE(load_into_solver(pigeonhole(8), s));

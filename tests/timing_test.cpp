@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "timing/time_formulation.hpp"
+#include "timing/time_session.hpp"
 #include "timing/time_solver.hpp"
 #include "workloads/running_example.hpp"
 #include "workloads/suite.hpp"
@@ -174,6 +175,97 @@ TEST(TimeFormulation, EncodingIsGridSizeIndependent) {
   ASSERT_TRUE(f20.build());
   EXPECT_EQ(f10.stats().num_vars, f20.stats().num_vars);
   EXPECT_EQ(f10.stats().num_clauses, f20.stats().num_clauses);
+}
+
+TEST(TimeSession, MatchesFormulationAtBaseHorizon) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  TimeSession session(dfg, arch, 4);
+  ASSERT_TRUE(session.ok());
+  ASSERT_EQ(session.solve(Deadline::unlimited()), SatStatus::kSat);
+  const TimeSolution sol = session.extract();
+  EXPECT_EQ(sol.ii, 4);
+  EXPECT_EQ(sol.horizon, session.horizon());
+  expect_solution_feasible(dfg, arch, sol);
+}
+
+TEST(TimeSession, UnsatBelowRecMiiIsFinalOrAtHorizon) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  // II=3 < RecII=4: unsatisfiable at every horizon of this II.
+  TimeSession session(dfg, arch, 3);
+  for (int ext = 0; ext < 3 && session.ok(); ++ext) {
+    EXPECT_EQ(session.solve(Deadline::unlimited()), SatStatus::kUnsat);
+    session.extend_horizon();
+  }
+}
+
+TEST(TimeSession, HorizonExtensionUnlocksCapacity) {
+  // 5 nodes, 1x1 grid, II=5: the critical-path horizon (4) pins node 4 to
+  // node 1's slot; one extension step frees it (same instance as the
+  // TimeSolver.HorizonExtensionUnlocksTightCapacity sweep, but exercised
+  // on one warm solver).
+  const Dfg dfg = Dfg::from_edges(
+      "chain5", 5, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {0, 4, 0}});
+  const CgraArch arch(1, 1);
+  TimeSession session(dfg, arch, 5);
+  ASSERT_TRUE(session.ok());
+  const SatStatus base = session.solve(Deadline::unlimited());
+  if (base == SatStatus::kUnsat) {
+    EXPECT_FALSE(session.unsat_is_final());
+  }
+  while (session.solve(Deadline::unlimited()) != SatStatus::kSat) {
+    ASSERT_FALSE(session.unsat_is_final());
+    ASSERT_TRUE(session.extend_horizon());
+    ASSERT_LE(session.extension(), 8);
+  }
+  const TimeSolution sol = session.extract();
+  std::vector<bool> slot_used(5, false);
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    EXPECT_FALSE(slot_used[static_cast<std::size_t>(sol.label(v))]);
+    slot_used[static_cast<std::size_t>(sol.label(v))] = true;
+  }
+}
+
+TEST(TimeSession, BlockLabelsPersistsAcrossExtensions) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  TimeSession session(dfg, arch, 4);
+  ASSERT_EQ(session.solve(Deadline::unlimited()), SatStatus::kSat);
+  const TimeSolution first = session.extract();
+  ASSERT_TRUE(session.block_labels(first));
+  ASSERT_TRUE(session.extend_horizon());
+  // Any solution at the wider horizon must still avoid the blocked vector.
+  if (session.solve(Deadline::unlimited()) == SatStatus::kSat) {
+    const TimeSolution second = session.extract();
+    bool differs = false;
+    for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+      differs = differs || first.label(v) != second.label(v);
+    }
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(TimeSession, NogoodPrunesPlacementFamily) {
+  const Dfg dfg = running_example_dfg();
+  const CgraArch arch = CgraArch::square(2);
+  TimeSession session(dfg, arch, 4);
+  ASSERT_EQ(session.solve(Deadline::unlimited()), SatStatus::kSat);
+  const TimeSolution first = session.extract();
+  // Pretend space refuted nodes {0, 1} at their current slots: every later
+  // schedule must move at least one of them, not merely differ somewhere.
+  ASSERT_TRUE(session.add_label_nogood(
+      {{0, first.label(0)}, {1, first.label(1)}}));
+  int rounds = 0;
+  while (session.solve(Deadline::unlimited()) == SatStatus::kSat &&
+         rounds < 32) {
+    const TimeSolution sol = session.extract();
+    EXPECT_FALSE(sol.label(0) == first.label(0) &&
+                 sol.label(1) == first.label(1))
+        << "nogood-pruned placement re-yielded";
+    ASSERT_TRUE(session.block_labels(sol));
+    ++rounds;
+  }
 }
 
 TEST(TimeSolver, StartsAtMiiAndYields) {

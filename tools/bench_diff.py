@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro_space/bench_micro_time --json run against a
+checked-in baseline and fail on regression.
+
+Usage:
+    bench_diff.py FRESH.json BASELINE.json [--max-ratio 2.0]
+                  [--metric seconds] [--key space]
+
+Rows are paired on (suite, engine) inside the record array named by --key
+("space" for BENCH_space.json, "time" for BENCH_time.json). The check
+fails (exit 1) when the MEDIAN of the per-row fresh/baseline ratios for
+--metric exceeds --max-ratio. The deterministic effort counters
+(nodes_expanded for space records, sat_calls for time records) are
+checked with the same threshold when present — they catch search-behaviour
+regressions independently of machine speed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, key):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if key not in doc:
+        sys.exit(f"error: {path} has no '{key}' record array "
+                 f"(keys: {sorted(doc)})")
+    rows = {}
+    for row in doc[key]:
+        rows[(row["suite"], row.get("engine", "-"))] = row
+    return rows
+
+
+def median(xs):
+    xs = sorted(xs)
+    if not xs:
+        return None
+    mid = len(xs) // 2
+    return xs[mid] if len(xs) % 2 == 1 else 0.5 * (xs[mid - 1] + xs[mid])
+
+
+def check_metric(fresh, base, metric, max_ratio):
+    """Return (median_ratio, worst_label, worst_ratio, compared) or None if
+    the metric is absent from the paired rows."""
+    ratios = []
+    worst = (None, 0.0)
+    for label, fresh_row in fresh.items():
+        base_row = base.get(label)
+        if base_row is None or metric not in fresh_row or metric not in base_row:
+            continue
+        f, b = float(fresh_row[metric]), float(base_row[metric])
+        if b <= 0.0:
+            continue  # sub-resolution baseline: a ratio would be noise
+        ratio = f / b
+        ratios.append(ratio)
+        if ratio > worst[1]:
+            worst = (label, ratio)
+    if not ratios:
+        return None
+    return median(ratios), worst[0], worst[1], len(ratios)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="fresh --json run")
+    parser.add_argument("baseline", help="checked-in baseline (BENCH_*.json)")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when median fresh/baseline exceeds this")
+    parser.add_argument("--metric", default="seconds",
+                        help="primary metric to compare (default: seconds)")
+    parser.add_argument("--key", default="space",
+                        help="record array name (space | time)")
+    args = parser.parse_args()
+
+    fresh = load_rows(args.fresh, args.key)
+    base = load_rows(args.baseline, args.key)
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print(f"warning: {len(missing)} baseline row(s) missing from the "
+              f"fresh run: {missing[:5]}{'...' if len(missing) > 5 else ''}")
+
+    # Deterministic effort counters are machine-independent; check whichever
+    # one this record family carries alongside the primary metric.
+    metrics = [args.metric]
+    for counter in ("nodes_expanded", "sat_calls"):
+        if counter != args.metric:
+            metrics.append(counter)
+
+    failed = False
+    for metric in metrics:
+        result = check_metric(fresh, base, metric, args.max_ratio)
+        if result is None:
+            continue
+        med, worst_label, worst_ratio, compared = result
+        verdict = "FAIL" if med > args.max_ratio else "ok"
+        if med > args.max_ratio:
+            failed = True
+        print(f"{verdict}: {metric}: median ratio {med:.3f} over {compared} "
+              f"rows (limit {args.max_ratio:.2f}); worst {worst_ratio:.3f} "
+              f"at {worst_label}")
+    if failed:
+        print("regression detected: fresh run is more than "
+              f"{args.max_ratio:.2f}x the baseline at the median")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

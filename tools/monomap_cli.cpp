@@ -36,6 +36,7 @@ struct CliOptions {
   Topology topology = Topology::kMesh;
   double timeout_s = 30.0;
   std::string mapper = "decoupled";
+  TimeEngine time_engine = TimeEngine::kIncremental;
   bool restricted = false;
   int threads = 0;  // portfolio mapper: 0 = auto
   std::string out;
@@ -48,7 +49,8 @@ struct CliOptions {
       "  show <bench|file.dfg>\n"
       "  map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]\n"
       "      [--timeout S] [--mapper decoupled|portfolio|coupled|anneal]\n"
-      "      [--threads N] [--restricted] [--out FILE]\n"
+      "      [--time-engine incremental|reference] [--threads N]\n"
+      "      [--restricted] [--out FILE]\n"
       "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
   std::exit(2);
 }
@@ -87,6 +89,11 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       opt.timeout_s = std::atof(value().c_str());
     } else if (arg == "--mapper") {
       opt.mapper = value();
+    } else if (arg == "--time-engine") {
+      const std::string e = value();
+      if (e == "incremental") opt.time_engine = TimeEngine::kIncremental;
+      else if (e == "reference") opt.time_engine = TimeEngine::kReference;
+      else usage();
     } else if (arg == "--threads") {
       opt.threads = std::atoi(value().c_str());
     } else if (arg == "--restricted") {
@@ -143,6 +150,7 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   if (opt.mapper == "decoupled" || opt.mapper == "portfolio") {
     DecoupledMapperOptions mopt;
     mopt.timeout_s = opt.timeout_s;
+    mopt.time.engine = opt.time_engine;
     if (opt.restricted) {
       mopt.space.model = MrrgModel::kConsecutiveOnly;
     }
