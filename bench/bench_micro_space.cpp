@@ -178,9 +178,12 @@ void run_json_mode(int grid, int repeats) {
       json.field("engine", to_string(engine));
       json.field("ii", p.ii);
       json.field("found", last.found);
+      json.field("truncated", last.truncated);
       json.field("seconds", med);
       json.field("nodes_expanded", last.nodes_expanded);
       json.field("backtracks", last.backtracks);
+      json.field("backjumps", last.backjumps);
+      json.field("max_depth", last.max_depth);
       json.end_object();
     }
   }

@@ -135,19 +135,26 @@ void run_json_mode(int grid, int repeats) {
       json.field("learnt_retained", last.time_stats.learnt_retained);
       json.field("nogoods_added", last.time_stats.nogoods_added);
       json.field("narrow_nogoods", last.time_stats.narrow_nogoods);
+      json.field("nogoods_lifted", last.time_stats.nogoods_lifted);
+      json.field("nogoods_deduped", last.time_stats.nogoods_deduped);
+      json.field("space_truncated", last.space_truncated);
+      json.field("space_exhausted", last.space_exhausted);
+      json.field("space_backjumps", last.space_backjumps);
+      json.field("budget_extensions", last.budget_extensions);
+      json.field("budget_shrinks", last.budget_shrinks);
       json.end_object();
     }
   }
   json.end_array();
 
   // Space-failure-heavy instances on the smaller paper grids: this is
-  // where the incremental engine's schedule seeding, retry
-  // diversification and nogood feedback are decisive (hotspot3D maps two
-  // full II levels below the reference path on 4x4), so the baseline
-  // pins them explicitly.
+  // where schedule seeding, retry diversification, conflict-set nogoods
+  // and the adaptive space budget are decisive, so the baseline pins them
+  // explicitly (nw rides along for its II-3-vs-4 sensitivity to the
+  // refutation-patience rule).
   json.key("hard");
   json.begin_array();
-  for (const char* name : {"hotspot3D", "cfd"}) {
+  for (const char* name : {"hotspot3D", "cfd", "nw"}) {
     const Benchmark& b = benchmark_by_name(name);
     for (const int side : {4, 5}) {
       const CgraArch hard_arch = CgraArch::square(side);
@@ -173,6 +180,11 @@ void run_json_mode(int grid, int repeats) {
         json.field("seconds", median(seconds));
         json.field("schedules_tried", last.schedules_tried);
         json.field("nogoods_added", last.time_stats.nogoods_added);
+        json.field("space_truncated", last.space_truncated);
+        json.field("space_exhausted", last.space_exhausted);
+        json.field("space_backjumps", last.space_backjumps);
+        json.field("budget_extensions", last.budget_extensions);
+        json.field("budget_shrinks", last.budget_shrinks);
         json.end_object();
       }
     }

@@ -74,6 +74,15 @@ CgraArch::CgraArch(int rows, int cols, Topology topology)
     neighbor_masks_.push_back(std::move(open));
     closed_neighbor_masks_.push_back(std::move(closed));
   }
+
+  distance2_masks_.reserve(static_cast<std::size_t>(n));
+  for (PeId pe = 0; pe < n; ++pe) {
+    PeSet ball = closed_neighbor_masks_[static_cast<std::size_t>(pe)];
+    for (const PeId q : neighbors_[static_cast<std::size_t>(pe)]) {
+      ball |= closed_neighbor_masks_[static_cast<std::size_t>(q)];
+    }
+    distance2_masks_.push_back(std::move(ball));
+  }
 }
 
 std::string CgraArch::description() const {

@@ -79,6 +79,16 @@ class CgraArch {
     return closed_neighbor_masks_[static_cast<std::size_t>(pe)];
   }
 
+  /// PEs within grid distance <= 2 of `pe` (the union of closed
+  /// neighbourhoods over N[pe], so it includes `pe` itself). Supplemental
+  /// paths-of-length-2 filtering in the space search intersects these masks
+  /// into the domains of DFG nodes two hops from a placed node: if u-w-v is
+  /// a DFG path, phi(v) must lie within two grid hops of phi(u).
+  [[nodiscard]] const PeSet& distance2_mask(PeId pe) const {
+    MONOMAP_ASSERT(has_pe(pe));
+    return distance2_masks_[static_cast<std::size_t>(pe)];
+  }
+
   [[nodiscard]] bool adjacent(PeId a, PeId b) const {
     MONOMAP_ASSERT(has_pe(a) && has_pe(b));
     return neighbor_masks_[static_cast<std::size_t>(a)].test(b);
@@ -105,6 +115,7 @@ class CgraArch {
   std::vector<std::vector<PeId>> closed_neighbors_;
   std::vector<PeSet> neighbor_masks_;
   std::vector<PeSet> closed_neighbor_masks_;
+  std::vector<PeSet> distance2_masks_;
 };
 
 }  // namespace monomap

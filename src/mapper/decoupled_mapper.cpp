@@ -31,7 +31,17 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
   result.mii = time_solver.mii();
 
   Stopwatch phase;
-  int failures_at_current_ii = 0;
+  const std::uint64_t base_budget = options_.space.max_backtracks;
+  std::uint64_t budget = base_budget;
+  // Failures at the current II, by what they taught us: uninformative ones
+  // (truncations, and refutations whose conflict set spans most of the
+  // DFG — their nogood prunes almost nothing) burn the II's retry budget;
+  // narrow refutations are progress (each prunes a whole schedule family)
+  // and only a generous separate cap bounds them.
+  int uninformative_at_current_ii = 0;
+  int narrow_refutations_at_current_ii = 0;
+  bool refuted_at_current_ii = false;  // any complete refutation at this II
+  bool probed_at_current_ii = false;   // last-chance probe already granted
   int last_ii = -1;
   for (;;) {
     phase.restart();
@@ -48,7 +58,11 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
     if (schedule->ii != last_ii) {
       // The time solver escalates II on its own when an II's schedules are
       // exhausted; the new II's first schedule gets the full search effort.
-      failures_at_current_ii = 0;
+      uninformative_at_current_ii = 0;
+      narrow_refutations_at_current_ii = 0;
+      refuted_at_current_ii = false;
+      probed_at_current_ii = false;
+      budget = base_budget;
       last_ii = schedule->ii;
     }
 
@@ -57,17 +71,22 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
       labels[static_cast<std::size_t>(v)] = schedule->label(v);
     }
     phase.restart();
-    // The first schedule at an II gets the full search effort; retries get
-    // a quarter — alternative label vectors rarely change feasibility, so
-    // the budget is better spent escalating the II.
     SpaceOptions space_options = options_.space;
-    if (failures_at_current_ii > 0 && space_options.max_backtracks != 0) {
+    if (options_.adaptive_space_budget) {
+      space_options.max_backtracks = budget;
+    } else if (uninformative_at_current_ii +
+                       narrow_refutations_at_current_ii >
+                   0 &&
+               space_options.max_backtracks != 0) {
+      // Historical flat policy: the first schedule at an II gets the full
+      // search effort, retries a quarter.
       space_options.max_backtracks =
           std::max<std::uint64_t>(space_options.max_backtracks / 4, 4096);
     }
     const SpaceResult space = find_monomorphism(
         dfg, arch, labels, schedule->ii, space_options, deadline);
     result.space_phase_s += phase.elapsed_s();
+    result.space_backjumps += space.backjumps;
     result.last_space = space;
 
     if (space.found) {
@@ -88,24 +107,114 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
       break;
     }
     // No monomorphism for this labelling (or the backtrack budget decided
-    // it is hopeless): block it and retry; after repeated failures at the
-    // same II, give the II up — connectivity constraints are necessary but
-    // not sufficient, so some IIs admit schedules yet no placement.
-    //
-    // A complete space exhaustion additionally carries a conflict
-    // explanation — a node subset that can never co-occupy these slots.
-    // Feed it back as a time-phase nogood so the time search skips every
-    // schedule repeating those placements, not just this label vector.
+    // to stop looking): block it and retry. A complete refutation carries
+    // a conflict explanation — a node subset that can never co-occupy
+    // these slots — fed back as a time-phase nogood so the time search
+    // skips every schedule repeating those placements, not just this
+    // label vector. Truncated searches learned nothing; only they count
+    // toward giving the II up, and the adaptive budget decides how much
+    // to spend on the next one from how this one died.
     if (!space.timed_out && !space.conflict_nodes.empty()) {
       time_solver.add_space_nogood(*schedule, space.conflict_nodes);
     }
-    ++failures_at_current_ii;
-    MONOMAP_DEBUG("space failed at II=" << schedule->ii << " ("
-                                        << space.failure_reason << "), retry "
-                                        << failures_at_current_ii);
-    if (options_.max_space_retries_per_ii > 0 &&
-        failures_at_current_ii >= options_.max_space_retries_per_ii) {
-      failures_at_current_ii = 0;
+    const bool narrow_conflict =
+        !space.timed_out &&
+        static_cast<int>(space.conflict_nodes.size()) * 2 <=
+            dfg.num_nodes();
+    if (space.truncated) {
+      ++result.space_truncated;
+      ++uninformative_at_current_ii;
+    } else {
+      ++result.space_exhausted;
+      refuted_at_current_ii = true;
+      if (narrow_conflict) {
+        ++narrow_refutations_at_current_ii;
+      } else {
+        ++uninformative_at_current_ii;
+      }
+    }
+    if (options_.adaptive_space_budget && base_budget != 0) {
+      const double retreat_fraction =
+          dfg.num_nodes() > 0
+              ? static_cast<double>(space.shallowest_retreat) /
+                    dfg.num_nodes()
+              : 1.0;
+      if (space.truncated &&
+          retreat_fraction >= options_.near_miss_depth_fraction) {
+        // Near-miss: every conflict so far stayed confined near the
+        // leaves — the shallow decisions were never implicated, so a
+        // deeper look may finish the job.
+        const std::uint64_t cap =
+            base_budget *
+            std::max<std::uint64_t>(options_.max_space_budget_boost, 1);
+        if (budget < cap) {
+          budget = std::min(budget * 2, cap);
+          ++result.budget_extensions;
+        }
+      } else if (narrow_conflict) {
+        // Narrow refutation: the conflict channel is pruning whole
+        // schedule families — restore full effort for the next family.
+        budget = base_budget;
+      } else {
+        // Shallow truncation or wide refutation: the failure implicates
+        // the earliest placements (or all of them) — this schedule family
+        // dies early and wide, so stop paying full price to re-learn
+        // that. The default divisor of 2 is deliberately cautious: it
+        // keeps mid-sized probes alive for schedules that are placeable
+        // but need some search (with 8 retries the budget reaches ~1% of
+        // base, not the floor); raise space_budget_shrink_divisor to kill
+        // dead-II mills faster.
+        const std::uint64_t floor =
+            std::min(options_.min_space_backtracks, base_budget);
+        const std::uint64_t divisor =
+            std::max<std::uint64_t>(options_.space_budget_shrink_divisor, 2);
+        if (budget / divisor >= floor) {
+          budget /= divisor;
+          ++result.budget_shrinks;
+        } else if (budget > floor) {
+          budget = floor;
+          ++result.budget_shrinks;
+        }
+      }
+    }
+    MONOMAP_DEBUG("space failed at II="
+                  << schedule->ii << " (" << space.failure_reason << ") in "
+                  << space.seconds << "s, " << space.backtracks
+                  << " backtracks, depth " << space.shallowest_retreat << ".."
+                  << space.max_depth << "/" << dfg.num_nodes()
+                  << ", conflict " << space.conflict_nodes.size()
+                  << " nodes; uninformative " << uninformative_at_current_ii
+                  << ", narrow " << narrow_refutations_at_current_ii
+                  << ", next budget " << budget);
+    const bool out_of_retries =
+        options_.max_space_retries_per_ii > 0 &&
+        uninformative_at_current_ii >= options_.max_space_retries_per_ii;
+    const bool out_of_refutations =
+        options_.max_space_refutations_per_ii > 0 &&
+        narrow_refutations_at_current_ii >=
+            options_.max_space_refutations_per_ii;
+    if (out_of_retries || out_of_refutations) {
+      if (out_of_retries && !out_of_refutations &&
+          options_.last_chance_probe && options_.adaptive_space_budget &&
+          !probed_at_current_ii && !refuted_at_current_ii &&
+          base_budget != 0 && budget < base_budget) {
+        // Every failure here was a truncation and the budget had shrunk:
+        // the II's feasibility is genuinely unknown and the last few
+        // schedules were starved. One full-budget schedule before giving
+        // the II up — this is what keeps cfd on 5x5 at II 6 instead of
+        // drifting to 8 when the shrink sequence outruns the placeable
+        // schedule.
+        probed_at_current_ii = true;
+        budget = base_budget;
+        ++result.budget_probes;
+        MONOMAP_DEBUG("last-chance probe at II=" << schedule->ii);
+        continue;
+      }
+      uninformative_at_current_ii = 0;
+      narrow_refutations_at_current_ii = 0;
+      refuted_at_current_ii = false;
+      probed_at_current_ii = false;
+      budget = base_budget;
       phase.restart();
       const bool more = time_solver.skip_to_next_ii();
       result.time_phase_s += phase.elapsed_s();

@@ -25,11 +25,59 @@ struct DecoupledMapperOptions {
   SpaceOptions space;
   /// Overall wall-clock budget in seconds (paper: 4000 s); <= 0 = unlimited.
   double timeout_s = 4000.0;
-  /// After this many schedules fail in space at one II, escalate to II+1.
-  /// (The paper's Sec. IV-D argues failures should be rare; when the DFG has
-  /// high-degree hubs the counting argument has gaps, and escalating II is
-  /// what produces the II > mII rows seen in the paper's Table III.)
+  /// After this many *uninformative* space failures at one II, escalate to
+  /// II+1. Uninformative means the search either truncated (budget ran
+  /// out, nothing learned) or refuted the schedule with a conflict set
+  /// spanning most of the DFG (> half the nodes — the nogood prunes almost
+  /// no other schedules, the classic signature of a spatially dead II).
+  /// Narrow refutations don't count against this: each one feeds a sound
+  /// family-pruning nogood back into the time search, so retrying is
+  /// progress, not wheel-spinning (they are bounded separately by
+  /// max_space_refutations_per_ii).
+  /// (The paper's Sec. IV-D argues failures should be rare; when the DFG
+  /// has high-degree hubs the counting argument has gaps, and escalating
+  /// II is what produces the II > mII rows seen in the paper's Table III.)
   int max_space_retries_per_ii = 8;
+  /// Hard cap on narrow (family-pruning) space refutations at one II
+  /// before the mapper escalates anyway (guards against an II whose huge
+  /// schedule space is spatially dead but only refutable one narrow family
+  /// at a time). 0 = unlimited.
+  int max_space_refutations_per_ii = 64;
+  /// Conflict-driven space budget adaptation. The per-schedule backtrack
+  /// budget starts at space.max_backtracks and then tracks what the
+  /// conflicts say, keyed off SpaceResult::shallowest_retreat (the
+  /// minimum backjump target — how shallow the failure's conflicts
+  /// reached, not how deep the dive got): a truncated search whose
+  /// conflicts implicated shallow decisions marks a hopeless schedule
+  /// family — shrink the budget and move on; one whose retreats all
+  /// stayed confined near the leaves is a near-miss — double the budget
+  /// (up to base * max_space_budget_boost); a complete refutation with a
+  /// narrow conflict set resets to the base budget (the nogood channel is
+  /// doing the pruning). Disable to get the historical flat behaviour
+  /// (full budget on the first schedule of an II, a quarter on retries).
+  bool adaptive_space_budget = true;
+  /// Floor for the adapted budget.
+  std::uint64_t min_space_backtracks = 4'096;
+  /// Divisor applied to the budget after an uninformative failure
+  /// (shallow truncation or wide refutation). 2 is cautious — it keeps
+  /// mid-sized probes alive for schedules that are placeable but need
+  /// some search; 4+ kills dead-II mills faster at the risk of truncating
+  /// a findable placement.
+  std::uint64_t space_budget_shrink_divisor = 2;
+  /// Ceiling multiplier for the adapted budget (base * boost).
+  std::uint64_t max_space_budget_boost = 8;
+  /// A truncated search whose shallowest backjump target stayed at or
+  /// above fraction * num_nodes counts as a near-miss (its conflicts never
+  /// implicated the shallow placements).
+  double near_miss_depth_fraction = 0.75;
+  /// Last-chance probe: when an II is about to be abandoned on truncations
+  /// alone — the engine never completed a single search there, so its
+  /// feasibility is genuinely unknown and the later, budget-starved
+  /// schedules may have been placeable — grant one more schedule at the
+  /// full base budget before escalating. IIs with refutation evidence (the
+  /// engine proved schedules dead there within budget) escalate without
+  /// the probe. Bounded: one probe per II.
+  bool last_chance_probe = true;
 };
 
 /// Parallel-portfolio configuration: race several space-search
@@ -59,6 +107,17 @@ struct MapResult {
   double space_phase_s = 0.0;  // Table III "Space" column
   double total_s = 0.0;
   int schedules_tried = 0;
+  /// Space searches cut off by the backtrack budget (learned nothing).
+  int space_truncated = 0;
+  /// Space searches that ran to a complete refutation (each fed a nogood).
+  int space_exhausted = 0;
+  /// Non-chronological retreats summed over all space searches.
+  std::uint64_t space_backjumps = 0;
+  /// Adaptive-budget policy actions (see
+  /// DecoupledMapperOptions::adaptive_space_budget).
+  int budget_extensions = 0;
+  int budget_shrinks = 0;
+  int budget_probes = 0;  // last-chance full-budget searches granted
   std::string failure_reason;
   TimeSolverStats time_stats;
   SpaceResult last_space;

@@ -152,14 +152,27 @@ bool in_canonical_octant(const CgraArch& arch, PeId p) {
 
 /// Bit-parallel domain-propagation search. One PeSet candidate domain per
 /// DFG node; assigning node v to PE p narrows the domains of v's unassigned
-/// neighbours (mask intersection with N[p]) and of unassigned same-label
-/// nodes (PE p's slot is now taken). Every changed word is recorded on a
-/// trail, so unassignment is an O(#changes) word-wise restore. A domain
-/// wiped to zero anywhere triggers an immediate backtrack — strictly
-/// stronger pruning than the reference engine's one-step lookahead.
+/// neighbours (mask intersection with N[p]), of unassigned same-label nodes
+/// (PE p's slot is now taken), and — with supplemental filtering — of
+/// unassigned nodes at DFG distance 2 (intersection with the distance-2
+/// ball around p). Every changed word is recorded on a trail, so
+/// unassignment is an O(#changes) word-wise restore. A domain wiped to zero
+/// anywhere triggers an immediate retreat.
 ///
-/// All state (domains, trail, orders) is preallocated in the constructor;
-/// the recursion itself never allocates.
+/// Failure handling is conflict-directed (FC-CBJ in Prosser's sense): every
+/// domain pruning records its culprit in a per-node pruner set, a wipeout
+/// charges the wiped node's pruners to the current decision's conflict set,
+/// and exhausting a decision's candidates jumps straight to the deepest
+/// decision level present in the accumulated conflict set — the levels in
+/// between provably cannot repair the failure. When the whole search
+/// exhausts, the final conflict set is exactly the node subset the
+/// refutation depended on, which run() exports as the conflict explanation.
+/// A conflict set with no assigned node at all refutes its node subset
+/// outright, so the search stops immediately — even mid-tree, even under a
+/// backtrack budget.
+///
+/// All state (domains, trails, conflict sets, orders) is preallocated in
+/// the constructor; the recursion itself never allocates.
 class BitsetSearcher {
  public:
   BitsetSearcher(const Dfg& dfg, const CgraArch& arch,
@@ -176,7 +189,9 @@ class BitsetSearcher {
         neighbors_(static_cast<std::size_t>(n_)),
         nodes_by_label_(static_cast<std::size_t>(ii)),
         assignment_(static_cast<std::size_t>(n_), -1),
-        mapped_neighbor_count_(static_cast<std::size_t>(n_), 0) {
+        mapped_neighbor_count_(static_cast<std::size_t>(n_), 0),
+        level_of_(static_cast<std::size_t>(n_), -1),
+        fail_set_(n_) {
     for (NodeId v = 0; v < n_; ++v) {
       neighbors_[static_cast<std::size_t>(v)] =
           dfg_.graph().undirected_neighbors(v);
@@ -186,20 +201,29 @@ class BitsetSearcher {
       }
     }
     domain_.reserve(static_cast<std::size_t>(n_));
+    pruners_.reserve(static_cast<std::size_t>(n_));
+    cs_stack_.reserve(static_cast<std::size_t>(n_));
     for (NodeId v = 0; v < n_; ++v) {
       domain_.push_back(PeSet::full(num_pes_));
+      pruners_.push_back(PeSet(n_));
+      cs_stack_.push_back(PeSet(n_));
     }
     words_ = (num_pes_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
+    node_words_ = (n_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
     // Hard bound on live trail entries: per active depth, the same-label
-    // loop trails at most one word per node and the neighbour loop at most
-    // `words_` per node (a same-label neighbour contributes to both), and
-    // at most n_ depths are active. Reserving the bound up front is what
-    // keeps the recursion heap-silent — run() asserts it was never
-    // exceeded.
+    // loop trails at most one word per node and the neighbour and
+    // distance-2 loops at most `words_` per node each, and at most n_
+    // depths are active. Reserving the bound up front is what keeps the
+    // recursion heap-silent — run() asserts it was never exceeded.
     trail_.reserve(static_cast<std::size_t>(n_) *
                    static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(words_ + 1));
+                   static_cast<std::size_t>(2 * words_ + 1));
     trail_reserved_ = trail_.capacity();
+    // Pruner-set bound: per (depth, pruned node) at most two new bits —
+    // the assigned culprit and one distance-2 witness.
+    pruner_trail_.reserve(static_cast<std::size_t>(n_) *
+                          static_cast<std::size_t>(n_) * 2);
+    pruner_trail_reserved_ = pruner_trail_.capacity();
 
     value_order_.reserve(static_cast<std::size_t>(num_pes_));
     for (PeId p = 0; p < num_pes_; ++p) value_order_.push_back(p);
@@ -231,6 +255,30 @@ class BitsetSearcher {
     if (options_.order != SpaceOrder::kDynamicMrv) {
       order_ = build_static_order(dfg_, neighbors_, options_.order);
     }
+    if (options_.distance2_filter) {
+      // Paths-of-length-2 adjacency of the labelled DFG: for every node a,
+      // the nodes b at undirected distance exactly 2, each with one common
+      // neighbour recorded as the witness. The witness is what makes the
+      // implied constraint valid on the induced subproblem, so it joins
+      // the conflict explanation whenever the pruning participates in a
+      // refutation.
+      dist2_.resize(static_cast<std::size_t>(n_));
+      PeSet seen(n_);
+      for (NodeId a = 0; a < n_; ++a) {
+        seen.clear();
+        seen.set(a);
+        for (const NodeId w : neighbors_[static_cast<std::size_t>(a)]) {
+          seen.set(w);
+        }
+        for (const NodeId w : neighbors_[static_cast<std::size_t>(a)]) {
+          for (const NodeId b : neighbors_[static_cast<std::size_t>(w)]) {
+            if (seen.test(b)) continue;
+            seen.set(b);
+            dist2_[static_cast<std::size_t>(a)].push_back({b, w});
+          }
+        }
+      }
+    }
   }
 
   SpaceResult run() {
@@ -245,27 +293,31 @@ class BitsetSearcher {
       result.seconds = watch.elapsed_s();
       return result;
     }
-    in_conflict_.assign(static_cast<std::size_t>(n_), false);
+    if (options_.distance2_filter &&
+        !apply_root_degree_filter(result)) {
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
+    result.shallowest_retreat = n_ + 1;
     result.found = n_ == 0 ? true : search(0, result);
-    // The no-steady-state-allocation invariant: the preallocated trail was
-    // never outgrown (a regrowth would mean the capacity bound is wrong).
+    // The no-steady-state-allocation invariant: the preallocated trails
+    // were never outgrown (a regrowth would mean a capacity bound is
+    // wrong).
     MONOMAP_ASSERT(trail_.capacity() == trail_reserved_);
+    MONOMAP_ASSERT(pruner_trail_.capacity() == pruner_trail_reserved_);
     if (result.found) {
       result.pe = assignment_;
     } else if (result.failure_reason.empty()) {
       result.failure_reason = result.timed_out ? "search budget exhausted"
                                                : "search space exhausted";
       if (!result.timed_out) {
-        // Complete exhaustion: the failure proof only ever branched on or
-        // wiped out the marked nodes, and their domains were narrowed only
-        // by assignments to marked nodes — so the proof is equally a proof
-        // that the marked subset alone cannot be placed (see
+        // Complete refutation: the final conflict set names every node the
+        // proof branched on or wiped out, plus every node whose placement
+        // or existence pruned a domain the proof used — so the proof
+        // stands on the induced subproblem of exactly these nodes (see
         // SpaceResult::conflict_nodes).
-        for (NodeId v = 0; v < n_; ++v) {
-          if (in_conflict_[static_cast<std::size_t>(v)]) {
-            result.conflict_nodes.push_back(v);
-          }
-        }
+        fail_set_.for_each(
+            [&](int u) { result.conflict_nodes.push_back(u); });
       }
     }
     result.seconds = watch.elapsed_s();
@@ -279,45 +331,125 @@ class BitsetSearcher {
     PeSet::Word old_bits;
   };
 
+  enum class Change { kUnchanged, kChanged, kWiped };
+
   [[nodiscard]] bool assigned(NodeId v) const {
     return assignment_[static_cast<std::size_t>(v)] >= 0;
   }
 
-  /// domain_[u] &= mask, trailing every changed word. Returns false on
-  /// wipeout.
-  bool intersect_domain(NodeId u, const PeSet& mask) {
+  /// domain_[u] &= mask, trailing every changed word.
+  Change intersect_domain(NodeId u, const PeSet& mask) {
     PeSet& d = domain_[static_cast<std::size_t>(u)];
     PeSet::Word any = 0;
+    bool changed = false;
     for (int w = 0; w < words_; ++w) {
       const PeSet::Word old = d.word(w);
       const PeSet::Word next = old & mask.word(w);
       if (next != old) {
         trail_.push_back(TrailEntry{u, w, old});
         d.set_word(w, next);
+        changed = true;
       }
       any |= next;
     }
-    return any != 0;
+    if (any == 0) return Change::kWiped;
+    return changed ? Change::kChanged : Change::kUnchanged;
   }
 
-  /// domain_[u] -= {p}, trailing the change. Returns false on wipeout.
-  bool remove_from_domain(NodeId u, PeId p) {
+  /// domain_[u] -= {p}, trailing the change.
+  Change remove_from_domain(NodeId u, PeId p) {
     PeSet& d = domain_[static_cast<std::size_t>(u)];
     const int w = p / PeSet::kWordBits;
     const PeSet::Word bit = PeSet::Word{1} << (p % PeSet::kWordBits);
     const PeSet::Word old = d.word(w);
     // No-op removal: the domain is unchanged, and domains of unassigned
     // nodes are non-empty by invariant — skip the emptiness scan.
-    if ((old & bit) == 0) return true;
+    if ((old & bit) == 0) return Change::kUnchanged;
     trail_.push_back(TrailEntry{u, w, old});
     d.set_word(w, old & ~bit);
-    return !d.empty();
+    return d.empty() ? Change::kWiped : Change::kChanged;
+  }
+
+  /// Record `culprit` as responsible for a pruning of u's current domain
+  /// (trailed, so the record dies with the pruning it explains).
+  void add_pruner(NodeId u, NodeId culprit) {
+    PeSet& ps = pruners_[static_cast<std::size_t>(u)];
+    const int w = culprit / PeSet::kWordBits;
+    const PeSet::Word bit = PeSet::Word{1} << (culprit % PeSet::kWordBits);
+    const PeSet::Word old = ps.word(w);
+    if ((old & bit) != 0) return;
+    pruner_trail_.push_back(TrailEntry{u, w, old});
+    ps.set_word(w, old | bit);
+  }
+
+  /// Root-level supplemental filter: every same-label subset of
+  /// N(v) ∪ {v} must occupy distinct PEs inside N[phi(v)] (neighbours land
+  /// there by mono3, v trivially, equal labels force distinct PEs by
+  /// mono1) — so phi(v)'s closed neighbourhood must be at least that
+  /// large. Prunes hub nodes off corner and edge PEs before the search
+  /// starts. Prunings are permanent (never trailed) and record the
+  /// maximising same-label witness set in pruners_[v] so conflict
+  /// explanations that rest on them stay sound. Returns false when some
+  /// domain is already wiped out, filling in the refutation.
+  bool apply_root_degree_filter(SpaceResult& result) {
+    std::vector<int> per_label(static_cast<std::size_t>(ii_), 0);
+    for (NodeId v = 0; v < n_; ++v) {
+      int need = 0;
+      int need_label = -1;
+      auto bump = [&](NodeId u) {
+        const int l = labels_[static_cast<std::size_t>(u)];
+        if (++per_label[static_cast<std::size_t>(l)] > need) {
+          need = per_label[static_cast<std::size_t>(l)];
+          need_label = l;
+        }
+      };
+      bump(v);
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) bump(u);
+      per_label[static_cast<std::size_t>(labels_[
+          static_cast<std::size_t>(v)])] = 0;
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+        per_label[static_cast<std::size_t>(labels_[
+            static_cast<std::size_t>(u)])] = 0;
+      }
+      if (need <= 1) continue;
+      PeSet& d = domain_[static_cast<std::size_t>(v)];
+      bool changed = false;
+      for (PeId p = 0; p < num_pes_; ++p) {
+        if (static_cast<int>(arch_.closed_neighbors(p).size()) < need &&
+            d.test(p)) {
+          d.reset(p);
+          changed = true;
+        }
+      }
+      if (!changed) continue;
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+        if (labels_[static_cast<std::size_t>(u)] == need_label) {
+          pruners_[static_cast<std::size_t>(v)].set(u);
+        }
+      }
+      if (d.empty()) {
+        result.failure_reason =
+            "node " + std::to_string(v) +
+            " needs a closed neighbourhood larger than any PE offers";
+        result.conflict_nodes.push_back(v);
+        for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+          if (labels_[static_cast<std::size_t>(u)] == need_label && u != v) {
+            result.conflict_nodes.push_back(u);
+          }
+        }
+        std::sort(result.conflict_nodes.begin(),
+                  result.conflict_nodes.end());
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Propagate the consequences of assignment v -> p into every unassigned
-  /// domain. Returns false if any domain is wiped out (the caller undoes
-  /// via the trail mark either way on failure).
-  bool propagate_assign(NodeId v, PeId p) {
+  /// domain, recording v (and, for distance-2 prunings, the path witness)
+  /// as the culprit of every change. Returns the wiped-out node, or
+  /// kInvalidNode on success.
+  NodeId propagate_assign(NodeId v, PeId p) {
     // Frontier bookkeeping first, unconditionally: undo_assign always
     // decrements every neighbour, so the increments must not be skipped by
     // an early wipeout return below.
@@ -328,29 +460,51 @@ class BitsetSearcher {
     // PE p's slot at v's label is now occupied (mono1).
     for (const NodeId u : nodes_by_label_[static_cast<std::size_t>(label)]) {
       if (assigned(u)) continue;
-      if (!remove_from_domain(u, p)) {
-        in_conflict_[static_cast<std::size_t>(u)] = true;
-        return false;
-      }
+      const Change c = remove_from_domain(u, p);
+      if (c != Change::kUnchanged) add_pruner(u, v);
+      if (c == Change::kWiped) return u;
     }
     // Unassigned neighbours must land in N[p] (mono3); a same-label
     // neighbour additionally lost p itself above.
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
       if (assigned(u)) continue;
-      if (!intersect_domain(u, arch_.closed_neighbor_mask(p))) {
-        in_conflict_[static_cast<std::size_t>(u)] = true;
-        return false;
+      const Change c = intersect_domain(u, arch_.closed_neighbor_mask(p));
+      if (c != Change::kUnchanged) add_pruner(u, v);
+      if (c == Change::kWiped) return u;
+    }
+    // Supplemental distance-2 constraint: a DFG path v-w-u forces phi(u)
+    // within two grid hops of p. The witness w joins u's pruners because
+    // the implied constraint only holds on subproblems that contain w.
+    if (options_.distance2_filter) {
+      const PeSet& ball = arch_.distance2_mask(p);
+      for (const auto& [u, w] : dist2_[static_cast<std::size_t>(v)]) {
+        if (assigned(u)) continue;
+        // An assigned witness already propagated the tighter constraint:
+        // domain(u) ⊆ N[phi(w)] ⊆ ball — the intersection is a no-op.
+        if (assigned(w)) continue;
+        const Change c = intersect_domain(u, ball);
+        if (c != Change::kUnchanged) {
+          add_pruner(u, v);
+          add_pruner(u, w);
+        }
+        if (c == Change::kWiped) return u;
       }
     }
-    return true;
+    return kInvalidNode;
   }
 
-  void undo_assign(NodeId v, std::size_t mark) {
+  void undo_assign(NodeId v, std::size_t mark, std::size_t pruner_mark) {
     for (std::size_t i = trail_.size(); i > mark; --i) {
       const TrailEntry& e = trail_[i - 1];
       domain_[static_cast<std::size_t>(e.node)].set_word(e.word, e.old_bits);
     }
     trail_.resize(mark);
+    for (std::size_t i = pruner_trail_.size(); i > pruner_mark; --i) {
+      const TrailEntry& e = pruner_trail_[i - 1];
+      pruners_[static_cast<std::size_t>(e.node)].set_word(e.word,
+                                                          e.old_bits);
+    }
+    pruner_trail_.resize(pruner_mark);
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
       --mapped_neighbor_count_[static_cast<std::size_t>(u)];
     }
@@ -392,19 +546,33 @@ class BitsetSearcher {
   bool search(std::size_t depth, SpaceResult& result) {
     if (depth == static_cast<std::size_t>(n_)) return true;
     ++result.nodes_expanded;
+    if (static_cast<int>(depth) + 1 > result.max_depth) {
+      result.max_depth = static_cast<int>(depth) + 1;
+    }
     if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
       result.timed_out = true;
       result.deadline_expired = true;
+      fail_level_ = -1;
       return false;
     }
     if (options_.max_backtracks != 0 &&
         result.backtracks > options_.max_backtracks) {
       result.timed_out = true;
+      result.truncated = true;
+      fail_level_ = -1;
       return false;
     }
     const NodeId v = select_node(depth);
     MONOMAP_ASSERT(v != kInvalidNode);
-    in_conflict_[static_cast<std::size_t>(v)] = true;
+    level_of_[static_cast<std::size_t>(v)] = static_cast<int>(depth);
+    // This decision's conflict set: v itself, plus everything that shaped
+    // v's candidate list (the refutation below enumerates exactly the
+    // unpruned candidates, so whoever pruned the rest is part of the
+    // proof).
+    PeSet& cs = cs_stack_[depth];
+    cs.clear();
+    cs.set(v);
+    cs |= pruners_[static_cast<std::size_t>(v)];
     // First placement: restrict to the canonical octant unless that empties
     // the candidate set (mirrors the reference engine exactly).
     const bool canonical_only = depth == 0 && canonical_.capacity() > 0 &&
@@ -428,17 +596,59 @@ class BitsetSearcher {
     for (int ci = 0; ci < num_cands; ++ci) {
       const PeId p = cands[ci];
       const std::size_t mark = trail_.size();
+      const std::size_t pruner_mark = pruner_trail_.size();
       assignment_[static_cast<std::size_t>(v)] = p;
-      if (propagate_assign(v, p)) {
+      const NodeId wiped = propagate_assign(v, p);
+      if (wiped == kInvalidNode) {
         if (search(depth + 1, result)) return true;
         if (result.timed_out) {
-          undo_assign(v, mark);
+          undo_assign(v, mark, pruner_mark);
+          level_of_[static_cast<std::size_t>(v)] = -1;
           return false;
         }
+        if (fail_level_ < static_cast<int>(depth)) {
+          // The failure below rests only on decisions above this one
+          // (fail_set_ names no node assigned here or deeper): no other
+          // value of v can repair it. Skip the remaining candidates and
+          // deliver fail_set_ unchanged to the culprit level.
+          undo_assign(v, mark, pruner_mark);
+          level_of_[static_cast<std::size_t>(v)] = -1;
+          return false;
+        }
+        // fail_level_ == depth: this decision is the deepest culprit.
+        // Absorb the sub-refutation and try the next value.
+        cs |= fail_set_;
+      } else {
+        // Immediate wipeout: charge the wiped node and whatever pruned its
+        // domain (which includes v via propagate_assign).
+        cs |= pruners_[static_cast<std::size_t>(wiped)];
+        cs.set(wiped);
       }
-      undo_assign(v, mark);
+      undo_assign(v, mark, pruner_mark);
       ++result.backtracks;
     }
+    // Every candidate failed. Jump to the deepest decision level the
+    // conflict set names; levels in between cannot repair the failure. No
+    // assigned node in the set at all means the refutation is
+    // self-contained — the search as a whole is over, and cs is a sound
+    // certificate even if a budget would have truncated the full tree.
+    level_of_[static_cast<std::size_t>(v)] = -1;
+    int target = -1;
+    if (options_.backjumping) {
+      cs.for_each([&](int u) {
+        target = std::max(target, level_of_[static_cast<std::size_t>(u)]);
+      });
+    } else {
+      target = static_cast<int>(depth) - 1;
+    }
+    if (target < static_cast<int>(depth) - 1) ++result.backjumps;
+    if (target < result.shallowest_retreat) {
+      result.shallowest_retreat = target;
+    }
+    for (int w = 0; w < node_words_; ++w) {
+      fail_set_.set_word(w, cs.word(w));
+    }
+    fail_level_ = target;
     return false;
   }
 
@@ -450,15 +660,25 @@ class BitsetSearcher {
   const Deadline& deadline_;
   int n_;
   int num_pes_;
-  int words_ = 0;
+  int words_ = 0;       // words per PE set
+  int node_words_ = 0;  // words per node set
   std::vector<std::vector<NodeId>> neighbors_;
   std::vector<std::vector<NodeId>> nodes_by_label_;
+  /// Per node: (partner, witness) for every node at undirected DFG
+  /// distance exactly 2, one shared-neighbour witness each.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> dist2_;
   std::vector<PeId> assignment_;
   std::vector<int> mapped_neighbor_count_;
-  std::vector<bool> in_conflict_;  // branched-on or wiped-out nodes
+  std::vector<int> level_of_;      // decision level per node; -1 unassigned
   std::vector<PeSet> domain_;
+  std::vector<PeSet> pruners_;     // per node: who pruned its domain
+  std::vector<PeSet> cs_stack_;    // conflict set per decision level
+  PeSet fail_set_;                 // conflict set of the failure in flight
+  int fail_level_ = -1;            // level that failure resumes at
   std::vector<TrailEntry> trail_;
   std::size_t trail_reserved_ = 0;
+  std::vector<TrailEntry> pruner_trail_;
+  std::size_t pruner_trail_reserved_ = 0;
   std::vector<PeId> value_order_;   // global value order (interior-first)
   std::vector<int> value_rank_;     // inverse of value_order_
   std::vector<PeId> cand_arena_;    // per-depth candidate buffers
@@ -505,6 +725,7 @@ class ReferenceSearcher {
       result.seconds = watch.elapsed_s();
       return result;
     }
+    result.shallowest_retreat = dfg_.num_nodes() + 1;
     const bool found =
         options_.order == SpaceOrder::kDynamicMrv
             ? (prepare_dynamic(), search_dynamic(0, result))
@@ -631,6 +852,9 @@ class ReferenceSearcher {
   bool search(std::size_t depth, SpaceResult& result) {
     if (depth == order_.size()) return true;
     ++result.nodes_expanded;
+    if (static_cast<int>(depth) + 1 > result.max_depth) {
+      result.max_depth = static_cast<int>(depth) + 1;
+    }
     if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
       result.timed_out = true;
       result.deadline_expired = true;
@@ -639,6 +863,7 @@ class ReferenceSearcher {
     if (options_.max_backtracks != 0 &&
         result.backtracks > options_.max_backtracks) {
       result.timed_out = true;
+      result.truncated = true;
       return false;
     }
     const NodeId v = order_[depth];
@@ -664,6 +889,9 @@ class ReferenceSearcher {
       set_slot(p, label, false);
       ++result.backtracks;
     }
+    if (static_cast<int>(depth) - 1 < result.shallowest_retreat) {
+      result.shallowest_retreat = static_cast<int>(depth) - 1;
+    }
     return false;
   }
 
@@ -682,6 +910,9 @@ class ReferenceSearcher {
     const std::size_t n = static_cast<std::size_t>(dfg_.num_nodes());
     if (depth == n) return true;
     ++result.nodes_expanded;
+    if (static_cast<int>(depth) + 1 > result.max_depth) {
+      result.max_depth = static_cast<int>(depth) + 1;
+    }
     if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
       result.timed_out = true;
       result.deadline_expired = true;
@@ -690,6 +921,7 @@ class ReferenceSearcher {
     if (options_.max_backtracks != 0 &&
         result.backtracks > options_.max_backtracks) {
       result.timed_out = true;
+      result.truncated = true;
       return false;
     }
     // Select the most constrained node: prefer frontier nodes (those with
@@ -713,6 +945,9 @@ class ReferenceSearcher {
           count_candidates(v, std::max<std::size_t>(cap, 1));
       if (frontier && count == 0) {
         ++result.backtracks;
+        if (static_cast<int>(depth) - 1 < result.shallowest_retreat) {
+          result.shallowest_retreat = static_cast<int>(depth) - 1;
+        }
         return false;  // dead end: some neighbour choice was wrong
       }
       const bool better =
@@ -749,6 +984,9 @@ class ReferenceSearcher {
       set_slot(p, label, false);
       if (result.timed_out) return false;
       ++result.backtracks;
+    }
+    if (static_cast<int>(depth) - 1 < result.shallowest_retreat) {
+      result.shallowest_retreat = static_cast<int>(depth) - 1;
     }
     return false;
   }

@@ -10,9 +10,13 @@
 //     persistence MRRG model),
 //
 // which is a labelled-subgraph-monomorphism search in the style of RI/VF3
-// ([29],[30]): a static greatest-constraint-first variable order, candidate
-// sets intersected from already-placed neighbours, and chronological
-// backtracking with a cheap forward check.
+// ([29],[30]). The default bitset engine additionally runs Glasgow-solver
+// style supplemental distance-2 filtering (a DFG path u-w-v forces
+// phi(u), phi(v) within two grid hops of each other) and conflict-directed
+// backjumping: every domain wipeout remembers which placements pruned the
+// wiped domain, exhausted nodes jump straight to the deepest culprit
+// decision, and a completed refutation exports its final conflict set as a
+// small, sound infeasibility certificate (SpaceResult::conflict_nodes).
 #ifndef MONOMAP_SPACE_MONOMORPHISM_HPP
 #define MONOMAP_SPACE_MONOMORPHISM_HPP
 
@@ -64,10 +68,36 @@ struct SpaceOptions {
   bool forward_check = true;
   bool interior_first = true;       // value ordering: prefer interior PEs
   bool symmetry_breaking = true;    // restrict the very first placement
-  /// Backtrack budget per invocation; 0 = unlimited. The decoupled mapper
-  /// treats budget exhaustion as "this schedule is hopeless", not as a
-  /// global timeout.
-  std::uint64_t max_backtracks = 500'000;
+  /// Bitset engine: supplemental distance-2 constraints, two mechanisms
+  /// under one toggle: (a) paths-of-length-2 filtering — assigning a node
+  /// intersects the domains of DFG nodes at distance exactly 2 with the
+  /// CGRA's distance-2 ball, so hopeless placements wipe out levels
+  /// earlier — and (b) the root degree filter, which strips PEs whose
+  /// closed neighbourhood cannot host a node's largest same-label
+  /// neighbour set before the search starts. Both are implied by the
+  /// original constraints — toggling never changes found/not-found, only
+  /// search effort (ablation toggle; note it disables both, so it
+  /// measures the supplemental-filtering family, not paths-of-length-2
+  /// alone).
+  bool distance2_filter = true;
+  /// Bitset engine: conflict-directed backjumping. On exhausting a node's
+  /// candidates the search jumps to the deepest decision that pruned any
+  /// domain involved in the failure, instead of the chronological parent.
+  /// Complete either way (ablation toggle).
+  bool backjumping = true;
+  /// Backtrack budget per invocation; 0 = unlimited. Exhausting the budget
+  /// sets `truncated` (and `timed_out`): the search proved nothing about
+  /// the remaining space, so no conflict explanation is emitted. The
+  /// decoupled mapper adapts this budget per schedule — shrinking it for
+  /// schedule families that keep dying shallow and extending it for
+  /// near-misses (DecoupledMapperOptions::adaptive_space_budget) — rather
+  /// than treating exhaustion as a verdict on the schedule. (300k: with
+  /// conflict-directed backjumping and distance-2 filtering the engine
+  /// refutes or places every realistic suite schedule that completes at
+  /// all well under this — nw's hardest 4x4 refutation, the suite
+  /// maximum, needs ~280k — while anything larger only makes truncated
+  /// searches cost more.)
+  std::uint64_t max_backtracks = 300'000;
 };
 
 struct SpaceResult {
@@ -76,20 +106,44 @@ struct SpaceResult {
   bool timed_out = false;
   /// The *wall-clock deadline* expired (subset of timed_out).
   bool deadline_expired = false;
+  /// The *backtrack budget* ran out (subset of timed_out, disjoint from
+  /// deadline_expired): the search was cut off having proven nothing.
+  bool truncated = false;
   std::vector<PeId> pe;  // per node; valid when found
   std::uint64_t nodes_expanded = 0;
   std::uint64_t backtracks = 0;
+  /// Bitset engine: non-chronological retreats — exhausting a node's
+  /// candidates jumped over at least one intervening decision level.
+  std::uint64_t backjumps = 0;
+  /// Deepest decision level reached (nodes simultaneously assigned, plus
+  /// the one being branched). max_depth == num_nodes on success.
+  int max_depth = 0;
+  /// Shallowest decision level any candidate exhaustion retreated to
+  /// (the minimum backjump target; chronological parent on the reference
+  /// engine). Initialised to num_nodes + 1, so that value means "no
+  /// retreat happened". The mapper's adaptive budget policy keys off
+  /// this: a truncated search whose conflicts all stayed confined near
+  /// the leaves is a near-miss worth a bigger budget, while one whose
+  /// conflict sets reached shallow decisions marks a hopeless schedule
+  /// family.
+  int shallowest_retreat = 0;
   double seconds = 0.0;
   std::string failure_reason;
-  /// Conflict explanation, set only when the search *exhausted* the space
-  /// (found == false, timed_out == false): a subset of DFG nodes whose
-  /// induced sub-DFG, with these slot labels, already admits no placement —
-  /// adding more nodes only tightens the problem, so any schedule that
-  /// gives exactly these slots to these nodes is spatially infeasible. The
-  /// bitset engine reports the set of nodes its failure proof ever branched
-  /// on or wiped out (usually a strict subset); the reference engine and
-  /// the precheck failures report coarser but still sound sets. The
-  /// decoupled mapper turns this into a time-phase nogood clause.
+  /// Conflict explanation, set only when the search produced a complete
+  /// refutation (found == false, timed_out == false): a subset of DFG
+  /// nodes whose induced sub-DFG, with these slot labels, already admits
+  /// no placement — adding more nodes only tightens the problem, so any
+  /// schedule that gives exactly these slots to these nodes is spatially
+  /// infeasible. The bitset engine derives this from conflict-directed
+  /// backjumping's final conflict set: the nodes the refutation branched
+  /// on or wiped out plus every node whose placement (or existence, for
+  /// distance-2 witnesses and degree-filter witnesses) pruned a domain the
+  /// refutation used. A refutation whose conflict set contains no assigned
+  /// node ends the search immediately — sound even under a backtrack
+  /// budget, because the certificate does not depend on the unexplored
+  /// region. The reference engine and the precheck failures report coarser
+  /// but still sound sets. The decoupled mapper turns this into a
+  /// time-phase nogood clause.
   std::vector<NodeId> conflict_nodes;
 };
 

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace monomap {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+LogLevel initial_level() {
+  // MONOMAP_LOG_LEVEL=debug|info|warn|error|off overrides the default, so
+  // the solving path can be traced without a recompile or CLI plumbing.
+  if (const char* env = std::getenv("MONOMAP_LOG_LEVEL")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel g_level = initial_level();
 
 const char* level_tag(LogLevel level) {
   switch (level) {

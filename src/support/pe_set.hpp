@@ -100,6 +100,15 @@ class PeSet {
     return *this;
   }
 
+  /// True if every member of this set is also in `o`.
+  [[nodiscard]] bool is_subset_of(const PeSet& o) const {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
   [[nodiscard]] bool intersects(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     for (std::size_t i = 0; i < words_.size(); ++i) {

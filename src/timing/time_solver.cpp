@@ -35,6 +35,7 @@ void TimeSolver::enter_next_ii() {
   formulation_.reset();
   session_.reset();
   ii_nogoods_.clear();
+  seen_nogoods_.clear();
   instance_ok_ = false;
   extension_ = -1;
   reseed_salt_ = 0;
@@ -120,18 +121,38 @@ bool TimeSolver::add_space_nogood(const TimeSolution& solution,
   for (const NodeId v : nodes) {
     placements.emplace_back(v, solution.label(v));
   }
+  // A conflict already covered by a recorded one (directly or as a
+  // rotation of it) adds nothing — every rotation of every recorded
+  // conflict sits in seen_nogoods_.
+  if (seen_nogoods_.count(placements) != 0) {
+    ++stats_.nogoods_deduped;
+    return true;
+  }
   ++stats_.nogoods_added;
   if (static_cast<int>(nodes.size()) < dfg_.num_nodes()) {
     ++stats_.narrow_nogoods;
   }
-  if (options_.engine == TimeEngine::kIncremental) {
-    if (session_) session_->add_label_nogood(placements);
-  } else {
-    if (formulation_ && instance_ok_ &&
-        !formulation_->add_label_nogood(placements)) {
-      instance_ok_ = false;  // every schedule left here is pruned
+  // Lift the conflict to all cyclic slot rotations: spatial feasibility
+  // depends only on the slot partition (and, in the consecutive-only
+  // model, on cyclic label distances — also rotation-invariant), so every
+  // rotation of an unplaceable placement set is unplaceable too.
+  for (int k = 0; k < ii_; ++k) {
+    std::vector<std::pair<NodeId, int>> rotated;
+    rotated.reserve(placements.size());
+    for (const auto& [v, slot] : placements) {
+      rotated.emplace_back(v, (slot + k) % ii_);
     }
-    ii_nogoods_.push_back(std::move(placements));
+    if (!seen_nogoods_.insert(rotated).second) continue;
+    if (k > 0) ++stats_.nogoods_lifted;
+    if (options_.engine == TimeEngine::kIncremental) {
+      if (session_) session_->add_label_nogood(rotated);
+    } else {
+      if (formulation_ && instance_ok_ &&
+          !formulation_->add_label_nogood(rotated)) {
+        instance_ok_ = false;  // every schedule left here is pruned
+      }
+      ii_nogoods_.push_back(std::move(rotated));
+    }
   }
   // A nogood whose placements all appear in the pending solution subsumes
   // the blocking clause next() would add for it.

@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -68,8 +69,10 @@ struct TimeSolverStats {
   int assumptions_used = 0;      // assumption literals passed to solves
   int learnt_retained = 0;       // learnt clauses alive after the last call
   // Space-conflict feedback (both engines).
-  int nogoods_added = 0;         // nogood clauses recorded
+  int nogoods_added = 0;         // distinct space conflicts recorded
   int narrow_nogoods = 0;        // nogoods over a strict subset of nodes
+  int nogoods_lifted = 0;        // extra rotation clauses derived from them
+  int nogoods_deduped = 0;       // conflicts already covered by a recorded one
   TimeFormulationStats last_formulation;
 };
 
@@ -96,10 +99,17 @@ class TimeSolver {
 
   /// Record a space-conflict nogood against the current II: the subset
   /// `nodes` of `solution`'s nodes cannot jointly take their labelled
-  /// slots, so prune every schedule that repeats those placements. The
-  /// nogood persists across horizon extensions of the II (and rebuilds on
-  /// the reference path) and subsumes blocking `solution` itself. Returns
-  /// false if `solution` is not from the current II.
+  /// slots, so prune every schedule that repeats those placements. Because
+  /// spatial feasibility depends only on the slot *partition* (mono1 wants
+  /// distinct PEs per layer and mono3 never reads label values; under the
+  /// consecutive-only model cyclic label distances are rotation-invariant
+  /// too), the conflict is lifted to all ii cyclic rotations — one clause
+  /// each — so a refuted schedule family takes its rotated twins down with
+  /// it. Conflicts already covered by a recorded nogood are skipped
+  /// (stats().nogoods_deduped). Nogoods persist across horizon extensions
+  /// of the II (and rebuilds on the reference path) and subsume blocking
+  /// `solution` itself. Returns false if `solution` is not from the
+  /// current II.
   bool add_space_nogood(const TimeSolution& solution,
                         const std::vector<NodeId>& nodes);
 
@@ -120,9 +130,12 @@ class TimeSolver {
   int ii_;
   int extension_ = 0;
   // kReference engine state: one formulation per (ii, extension), plus the
-  // nogoods recorded at this II for re-application after each rebuild.
+  // nogoods recorded at this II (rotations included) for re-application
+  // after each rebuild.
   std::unique_ptr<TimeFormulation> formulation_;
   std::vector<std::vector<std::pair<NodeId, int>>> ii_nogoods_;
+  // Conflicts recorded at this II, every rotation of each — the dedupe set.
+  std::set<std::vector<std::pair<NodeId, int>>> seen_nogoods_;
   // kIncremental engine state: one warm session per II.
   std::unique_ptr<TimeSession> session_;
   int reseed_salt_ = 0;  // phase-diversification counter at this II

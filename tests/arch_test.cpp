@@ -1,6 +1,9 @@
 // Tests for the CGRA architecture model and the MRRG (paper Fig. 1/Fig. 3).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "arch/cgra.hpp"
 #include "arch/mrrg.hpp"
 
@@ -101,6 +104,60 @@ TEST(Cgra, NeighborMasksMatchAdjacencyLists) {
           EXPECT_EQ(arch.adjacent_or_same(pe, q), closed.test(q));
         }
       }
+    }
+  }
+}
+
+TEST(Cgra, Distance2MaskMeshHandComputed) {
+  // 4x4 mesh, corner PE 0: N[0] = {0,1,4}; the <=2-hop ball is the union
+  // of closed neighbourhoods over N[0] = {0,1,2,4,5,8}.
+  const CgraArch arch = CgraArch::square(4);
+  const PeSet& corner = arch.distance2_mask(0);
+  const std::vector<PeId> expected_corner = {0, 1, 2, 4, 5, 8};
+  EXPECT_EQ(corner.count(), static_cast<int>(expected_corner.size()));
+  for (const PeId p : expected_corner) {
+    EXPECT_TRUE(corner.test(p)) << p;
+  }
+  // 5x5 mesh, center PE 12: the radius-2 von Neumann diamond, 13 PEs.
+  const CgraArch five = CgraArch::square(5);
+  const PeId center = five.pe_at(2, 2);
+  const PeSet& ball = five.distance2_mask(center);
+  EXPECT_EQ(ball.count(), 13);
+  for (PeId p = 0; p < five.num_pes(); ++p) {
+    const int dist = std::abs(five.row_of(p) - 2) + std::abs(five.col_of(p) - 2);
+    EXPECT_EQ(ball.test(p), dist <= 2) << p;
+  }
+}
+
+TEST(Cgra, Distance2MaskTorusHandComputed) {
+  // 4x4 torus, PE 0: N[0] = {0,1,3,4,12}; union of closed neighbourhoods
+  // = {0,1,2,3,4,5,7,8,12,13,15} (11 PEs: the wrap links pull in both
+  // ends of row 0 / column 0 and their neighbours).
+  const CgraArch arch(4, 4, Topology::kTorus);
+  const PeSet& ball = arch.distance2_mask(0);
+  const std::vector<PeId> expected = {0, 1, 2, 3, 4, 5, 7, 8, 12, 13, 15};
+  EXPECT_EQ(ball.count(), static_cast<int>(expected.size()));
+  for (const PeId p : expected) {
+    EXPECT_TRUE(ball.test(p)) << p;
+  }
+  EXPECT_FALSE(ball.test(arch.pe_at(1, 2)));   // PE 6: distance 3
+  EXPECT_FALSE(ball.test(arch.pe_at(2, 2)));   // PE 10: distance 4
+  // On a 3x3 torus every PE is within two hops of every other.
+  const CgraArch tiny(3, 3, Topology::kTorus);
+  for (PeId p = 0; p < tiny.num_pes(); ++p) {
+    EXPECT_EQ(tiny.distance2_mask(p).count(), tiny.num_pes()) << p;
+  }
+}
+
+TEST(Cgra, Distance2MaskContainsClosedNeighborhood) {
+  for (const Topology t :
+       {Topology::kMesh, Topology::kTorus, Topology::kDiagonal}) {
+    const CgraArch arch(3, 4, t);
+    for (PeId p = 0; p < arch.num_pes(); ++p) {
+      EXPECT_TRUE(arch.closed_neighbor_mask(p).is_subset_of(
+          arch.distance2_mask(p)))
+          << topology_name(t) << " " << p;
+      EXPECT_TRUE(arch.distance2_mask(p).test(p));
     }
   }
 }

@@ -131,6 +131,135 @@ TEST(SpaceEngines, DifferentialOnScheduleRealisticInstances) {
   }
 }
 
+/// Sub-DFG induced by `nodes` (ids are compacted in order), with the
+/// matching label projection — the instance a conflict explanation claims
+/// is unplaceable.
+Dfg induced_subdfg(const Dfg& dfg, const std::vector<int>& labels,
+                   const std::vector<NodeId>& nodes,
+                   std::vector<int>& sub_labels) {
+  std::vector<NodeId> to_sub(static_cast<std::size_t>(dfg.num_nodes()),
+                             kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    to_sub[static_cast<std::size_t>(nodes[i])] = static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  const Graph& g = dfg.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const NodeId s = to_sub[static_cast<std::size_t>(edge.src)];
+    const NodeId d = to_sub[static_cast<std::size_t>(edge.dst)];
+    if (s == kInvalidNode || d == kInvalidNode) continue;
+    edges.push_back(Edge{s, d, edge.attr});
+  }
+  sub_labels.clear();
+  for (const NodeId v : nodes) {
+    sub_labels.push_back(labels[static_cast<std::size_t>(v)]);
+  }
+  return Dfg::from_edges("induced", static_cast<int>(nodes.size()), edges);
+}
+
+TEST(SpaceEngines, ConflictExplanationsAreSoundUnderTruncation) {
+  // A recorded conflict explanation claims: the induced sub-DFG with these
+  // labels admits NO placement — that is what add_space_nogood turns into
+  // a schedule-pruning clause, so an unsound one would silently exclude
+  // mappable schedules. Sweep random instances under a range of budgets
+  // (tiny budgets exercise the early self-contained-refutation path, which
+  // may emit explanations from a search that never saw the whole tree) and
+  // cross-check every emitted explanation against an exhaustive kReference
+  // run on the induced subproblem.
+  int checked = 0;
+  for (const Topology topology : {Topology::kMesh, Topology::kTorus}) {
+    const CgraArch arch(3, 3, topology);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      SyntheticSpec spec;
+      spec.num_nodes = 10 + static_cast<int>(seed) * 2;  // 12..22 nodes
+      spec.seed = seed * 7919;
+      const Dfg dfg = random_dfg(spec);
+      for (int ii = 1; ii <= 3; ++ii) {
+        Rng rng(seed * 53 + static_cast<std::uint64_t>(ii));
+        std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
+        for (int& l : labels) {
+          l = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(ii)));
+        }
+        for (const std::uint64_t budget : {25ull, 400ull, 0ull}) {
+          SpaceOptions opt;  // bitset default: CBJ + distance-2 on
+          opt.max_backtracks = budget;
+          const SpaceResult r = find_monomorphism(dfg, arch, labels, ii, opt);
+          if (r.found || r.conflict_nodes.empty()) continue;
+          EXPECT_FALSE(r.timed_out)
+              << "explanations must only come from complete refutations";
+          std::vector<int> sub_labels;
+          const Dfg sub =
+              induced_subdfg(dfg, labels, r.conflict_nodes, sub_labels);
+          SpaceOptions oracle;
+          oracle.engine = SpaceEngine::kReference;
+          oracle.max_backtracks = 0;
+          const SpaceResult check =
+              find_monomorphism(sub, arch, sub_labels, ii, oracle);
+          EXPECT_FALSE(check.found)
+              << "unsound conflict explanation: topology="
+              << topology_name(topology) << " seed=" << seed << " ii=" << ii
+              << " budget=" << budget << " |conflict|="
+              << r.conflict_nodes.size() << "/" << dfg.num_nodes();
+          ++checked;
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the explanation path.
+  EXPECT_GT(checked, 10);
+}
+
+TEST(SpaceEngines, TogglesPreserveCompleteness) {
+  // Distance-2 filtering and backjumping are implied/complete — flipping
+  // them never changes found/not-found on complete searches.
+  const CgraArch arch(3, 3, Topology::kMesh);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SyntheticSpec spec;
+    spec.num_nodes = 12 + static_cast<int>(seed) * 2;
+    spec.seed = seed * 1231;
+    const Dfg dfg = random_dfg(spec);
+    for (int ii = 2; ii <= 3; ++ii) {
+      Rng rng(seed * 17 + static_cast<std::uint64_t>(ii));
+      std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
+      for (int& l : labels) {
+        l = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(ii)));
+      }
+      SpaceOptions base = engine_options(SpaceEngine::kBitset);
+      const SpaceResult full = find_monomorphism(dfg, arch, labels, ii, base);
+      for (const bool d2 : {false, true}) {
+        for (const bool cbj : {false, true}) {
+          SpaceOptions opt = base;
+          opt.distance2_filter = d2;
+          opt.backjumping = cbj;
+          const SpaceResult r = find_monomorphism(dfg, arch, labels, ii, opt);
+          EXPECT_EQ(r.found, full.found)
+              << "d2=" << d2 << " cbj=" << cbj << " seed=" << seed
+              << " ii=" << ii;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpaceEngines, AdaptiveBudgetCountersAreConsistent) {
+  // The mapper's conflict-driven budget policy exposes its decisions; the
+  // counters must add up against the per-search outcomes.
+  const Benchmark& b = benchmark_by_name("hotspot3D");
+  const CgraArch arch = CgraArch::square(4);
+  DecoupledMapperOptions opt;
+  opt.timeout_s = 120.0;
+  const MapResult r = DecoupledMapper(opt).map(b.dfg, arch);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_LE(r.space_truncated + r.space_exhausted, r.schedules_tried);
+  // Every budget action responds to exactly one failed search.
+  EXPECT_LE(r.budget_extensions + r.budget_shrinks,
+            r.space_truncated + r.space_exhausted);
+  // hotspot3D's early IIs are the truncation mill: the policy must have
+  // shrunk at least once.
+  EXPECT_GT(r.budget_shrinks, 0);
+}
+
 TEST(SpaceEngines, BitsetPrunesAtLeastAsHard) {
   // Wipeout propagation explores no more nodes than the reference engine's
   // one-step lookahead on the same static order.

@@ -193,8 +193,14 @@ TEST(Monomorphism, DeadlineExpiresCleanly) {
   const Deadline expired(0.0);
   const SpaceResult r =
       find_monomorphism(b.dfg, arch, labels, sol->ii, SpaceOptions{}, expired);
+  // Deadline checks are periodic (every 4096 expansions), so a search that
+  // completes before the first check legitimately never reports expiry —
+  // conflict-directed search refutes this instance that fast. What must
+  // hold: any early stop under an expired deadline is attributed to the
+  // deadline, never to the backtrack budget.
   if (!r.found) {
-    EXPECT_TRUE(r.deadline_expired);
+    EXPECT_EQ(r.timed_out, r.deadline_expired);
+    EXPECT_FALSE(r.truncated);
   }
 }
 

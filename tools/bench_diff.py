@@ -6,13 +6,15 @@ Usage:
     bench_diff.py FRESH.json BASELINE.json [--max-ratio 2.0]
                   [--metric seconds] [--key space]
 
-Rows are paired on (suite, engine) inside the record array named by --key
-("space" for BENCH_space.json, "time" for BENCH_time.json). The check
-fails (exit 1) when the MEDIAN of the per-row fresh/baseline ratios for
---metric exceeds --max-ratio. The deterministic effort counters
-(nodes_expanded for space records, sat_calls for time records) are
-checked with the same threshold when present — they catch search-behaviour
-regressions independently of machine speed.
+Rows are paired on (suite, grid, engine) inside the record array named by
+--key ("space" for BENCH_space.json, "time" or "hard" for
+BENCH_time.json; "hard" rows carry a per-row grid, the others inherit the
+document's). The check fails (exit 1) when the MEDIAN of the per-row
+fresh/baseline ratios for --metric exceeds --max-ratio. The deterministic
+effort counters (nodes_expanded for space records, sat_calls and
+schedules_tried for time records) are checked with the same threshold when
+present — they catch search-behaviour regressions independently of machine
+speed.
 """
 
 import argparse
@@ -28,7 +30,10 @@ def load_rows(path, key):
                  f"(keys: {sorted(doc)})")
     rows = {}
     for row in doc[key]:
-        rows[(row["suite"], row.get("engine", "-"))] = row
+        # The "hard" section sweeps grids per suite, so the grid is part of
+        # the row identity; other sections inherit the document grid.
+        grid = row.get("grid", doc.get("grid", "-"))
+        rows[(row["suite"], grid, row.get("engine", "-"))] = row
     return rows
 
 
@@ -83,15 +88,17 @@ def main():
     # Deterministic effort counters are machine-independent; check whichever
     # one this record family carries alongside the primary metric.
     metrics = [args.metric]
-    for counter in ("nodes_expanded", "sat_calls"):
+    for counter in ("nodes_expanded", "sat_calls", "schedules_tried"):
         if counter != args.metric:
             metrics.append(counter)
 
     failed = False
+    checked = 0
     for metric in metrics:
         result = check_metric(fresh, base, metric, args.max_ratio)
         if result is None:
             continue
+        checked += 1
         med, worst_label, worst_ratio, compared = result
         verdict = "FAIL" if med > args.max_ratio else "ok"
         if med > args.max_ratio:
@@ -99,6 +106,13 @@ def main():
         print(f"{verdict}: {metric}: median ratio {med:.3f} over {compared} "
               f"rows (limit {args.max_ratio:.2f}); worst {worst_ratio:.3f} "
               f"at {worst_label}")
+    if checked == 0:
+        # A gate that compared nothing (metric missing from this record
+        # family, or no paired rows) must not pass silently — that is how
+        # a schema drift turns a regression check into a no-op.
+        print(f"error: no comparable metric among {metrics} for key "
+              f"'{args.key}' — the gate checked nothing")
+        return 1
     if failed:
         print("regression detected: fresh run is more than "
               f"{args.max_ratio:.2f}x the baseline at the median")

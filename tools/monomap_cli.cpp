@@ -39,6 +39,12 @@ struct CliOptions {
   TimeEngine time_engine = TimeEngine::kIncremental;
   bool restricted = false;
   int threads = 0;  // portfolio mapper: 0 = auto
+  std::uint64_t space_budget = 0;    // valid only when space_budget_set
+  bool space_budget_set = false;     // --space-budget given (0 = unlimited)
+  std::uint64_t shrink_divisor = 0;  // 0 = keep the mapper default
+  bool adaptive_budget = true;
+  bool distance2 = true;
+  bool backjump = true;
   std::string out;
 };
 
@@ -50,7 +56,8 @@ struct CliOptions {
       "  map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]\n"
       "      [--timeout S] [--mapper decoupled|portfolio|coupled|anneal]\n"
       "      [--time-engine incremental|reference] [--threads N]\n"
-      "      [--restricted] [--out FILE]\n"
+      "      [--space-budget N] [--shrink-divisor N] [--no-adaptive-budget]\n"
+      "      [--no-distance2] [--no-backjump] [--restricted] [--out FILE]\n"
       "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
   std::exit(2);
 }
@@ -67,6 +74,17 @@ Dfg load_dfg(const std::string& spec) {
     return dfg_from_text(buffer.str());
   }
   return benchmark_by_name(spec).dfg;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end == nullptr || *end != '\0') {
+    std::cerr << flag << ": expected a non-negative integer, got '" << s
+              << "'\n";
+    std::exit(2);
+  }
+  return v;
 }
 
 CliOptions parse_flags(int argc, char** argv, int first) {
@@ -96,6 +114,17 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       else usage();
     } else if (arg == "--threads") {
       opt.threads = std::atoi(value().c_str());
+    } else if (arg == "--space-budget") {
+      opt.space_budget = parse_u64(value(), "--space-budget");
+      opt.space_budget_set = true;
+    } else if (arg == "--shrink-divisor") {
+      opt.shrink_divisor = parse_u64(value(), "--shrink-divisor");
+    } else if (arg == "--no-adaptive-budget") {
+      opt.adaptive_budget = false;
+    } else if (arg == "--no-distance2") {
+      opt.distance2 = false;
+    } else if (arg == "--no-backjump") {
+      opt.backjump = false;
     } else if (arg == "--restricted") {
       opt.restricted = true;
     } else if (arg == "--out") {
@@ -151,6 +180,15 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
     DecoupledMapperOptions mopt;
     mopt.timeout_s = opt.timeout_s;
     mopt.time.engine = opt.time_engine;
+    mopt.adaptive_space_budget = opt.adaptive_budget;
+    mopt.space.distance2_filter = opt.distance2;
+    mopt.space.backjumping = opt.backjump;
+    if (opt.space_budget_set) {
+      mopt.space.max_backtracks = opt.space_budget;  // 0 = unlimited
+    }
+    if (opt.shrink_divisor != 0) {
+      mopt.space_budget_shrink_divisor = opt.shrink_divisor;
+    }
     if (opt.restricted) {
       mopt.space.model = MrrgModel::kConsecutiveOnly;
     }
@@ -173,6 +211,12 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
     } else {
       std::cerr << "failed: " << r.failure_reason << '\n';
     }
+    std::cout << "space: " << r.schedules_tried << " schedules, "
+              << r.space_truncated << " truncated, " << r.space_exhausted
+              << " refuted, " << r.space_backjumps << " backjumps, budget +"
+              << r.budget_extensions << "/-" << r.budget_shrinks
+              << " (time " << format_time_s(r.time_phase_s) << " s, space "
+              << format_time_s(r.space_phase_s) << " s)\n";
     seconds = r.total_s;
   } else if (opt.mapper == "coupled") {
     CoupledMapperOptions mopt;
