@@ -5,19 +5,27 @@
 //    DFG size on schedule-realistic inputs (the paper's space phase stays
 //    cheap as the grid grows because candidate neighbourhoods are
 //    constant-size);
-//  * --json [--grid N] [--repeats R] — machine-readable engine comparison
-//    over the whole workload suite (suite, grid, II, seconds,
-//    nodes_expanded, backtracks per engine, plus a portfolio-vs-single
-//    section), recorded in BENCH_space.json to track the perf trajectory
-//    across PRs.
+//  * --json [--grids 8,16,32,64] [--suites a,b] [--repeats R] —
+//    machine-readable engine comparison per grid section (suite, grid, II,
+//    seconds, effort counters per engine), recorded in BENCH_space.json to
+//    track the perf trajectory across PRs. Grid 8 compares the bitset
+//    engine against the scan-based reference and carries the portfolio
+//    section; larger grids (multi-word domains) compare the dispatched
+//    SIMD bitset engine against the same engine pinned to the scalar
+//    kernels ("bitset-scalar"), on suite DFGs plus a scaled synthetic
+//    layered DFG whose schedule is computed directly (layer mod II), so
+//    the section cost stays in the space phase.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "mapper/decoupled_mapper.hpp"
 #include "space/monomorphism.hpp"
+#include "support/simd.hpp"
 #include "timing/time_solver.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/synthetic.hpp"
@@ -139,116 +147,243 @@ BENCHMARK(BM_MonoHardestSuiteCase)->Arg(5)->Arg(10);
 
 // --- --json mode -----------------------------------------------------------
 
-/// Per-(benchmark, engine) record: median-of-repeats search time plus the
-/// effort counters of the last run (deterministic, so identical each run).
-void run_json_mode(int grid, int repeats) {
-  const CgraArch arch = CgraArch::square(grid);
+/// One space-section row: median-of-repeats search time plus the effort
+/// counters of the last run (deterministic, so identical each run).
+void emit_space_row(JsonWriter& json, const std::string& suite, int grid,
+                    const char* engine, int ii, double med,
+                    const SpaceResult& last) {
+  json.begin_object();
+  json.field("suite", suite);
+  json.field("grid", grid);
+  json.field("engine", engine);
+  json.field("ii", ii);
+  json.field("found", last.found);
+  json.field("truncated", last.truncated);
+  json.field("seconds", med);
+  json.field("nodes_expanded", last.nodes_expanded);
+  json.field("backtracks", last.backtracks);
+  json.field("backjumps", last.backjumps);
+  json.field("max_depth", last.max_depth);
+  json.field("words_per_domain", last.words_per_domain);
+  json.field("trail_words_saved", last.trail_words_saved);
+  json.field("multiplicity_prunings", last.multiplicity_prunings);
+  json.end_object();
+}
+
+/// Median-of-repeats wall time; `last` receives the final (deterministic)
+/// result for the counter fields.
+double run_search(const Prepared& p, const CgraArch& arch,
+                  const SpaceOptions& opt, int repeats, SpaceResult& last) {
+  std::vector<double> seconds;
+  for (int r = 0; r < repeats; ++r) {
+    last = find_monomorphism(*p.dfg, arch, p.labels, p.ii, opt);
+    seconds.push_back(last.seconds);
+  }
+  return median(seconds);
+}
+
+bool suite_selected(const std::vector<std::string>& filter,
+                    const std::string& name) {
+  if (filter.empty()) return true;
+  for (const std::string& f : filter) {
+    if (f == name) return true;
+  }
+  return false;
+}
+
+/// Scaled synthetic workload for the multi-word grid sections: a layered
+/// DFG whose schedule is the layer index mod II — valid by construction
+/// (layered edges span consecutive layers; register persistence imposes no
+/// slot-adjacency constraint) and free of TimeSolver cost, so the section
+/// measures the space engine only.
+Prepared prepare_layered(const Dfg& dfg, int width, int ii) {
+  Prepared p{&dfg, {}, ii};
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    p.labels.push_back((v / width) % ii);
+  }
+  return p;
+}
+
+void run_json_mode(const std::vector<int>& grids, int repeats,
+                   const std::vector<std::string>& suite_filter) {
   JsonWriter json(std::cout);
   json.begin_object();
   json.field("bench", "bench_micro_space");
-  json.field("grid", grid);
-  json.field("topology", topology_name(arch.topology()));
+  json.key("grids");
+  json.begin_array();
+  for (const int g : grids) json.value(g);
+  json.end_array();
+  json.field("topology", topology_name(Topology::kMesh));
   json.field("repeats", repeats);
+  json.field("simd", simd::level_name(simd::active_level()));
 
-  std::vector<double> ratios;
+  std::vector<double> ref_ratios;           // grid 8: reference / bitset
+  std::vector<int> scalar_grids;            // grids with scalar/simd rows
+  std::vector<std::vector<double>> scalar_ratios;  // parallel to the above
+
   json.key("space");
   json.begin_array();
-  for (const Benchmark& b : benchmark_suite()) {
-    const Prepared p = prepare(b.dfg, arch);
-    if (p.labels.empty()) continue;
-    double bitset_median = 0.0;
-    for (const SpaceEngine engine :
-         {SpaceEngine::kBitset, SpaceEngine::kReference}) {
+  for (const int grid : grids) {
+    const CgraArch arch = CgraArch::square(grid);
+    // Multi-word regime: compare dispatched kernels against the scalar
+    // reference kernels on the identical search (bit-identical traces, so
+    // the counters must match row-for-row and only `seconds` may differ).
+    const bool multi_word = arch.num_pes() > 2 * PeSet::kWordBits;
+    std::vector<double>* scalar_ratio = nullptr;
+    if (multi_word) {
+      scalar_grids.push_back(grid);
+      scalar_ratio = &scalar_ratios.emplace_back();
+    }
+
+    std::vector<std::pair<std::string, Prepared>> cases;
+    std::vector<Dfg> keep;  // layered DFGs outlive their Prepared views
+    for (const Benchmark& b : benchmark_suite()) {
+      if (!suite_selected(suite_filter, b.name)) continue;
+      Prepared p = prepare(b.dfg, arch);
+      if (p.labels.empty()) continue;
+      cases.emplace_back(b.name, std::move(p));
+    }
+    if (multi_word) {
+      // Depth/width/II grow with the fabric so the domains stay busy.
+      const int layers = grid == 16 ? 6 : grid == 32 ? 8 : 10;
+      const int width = grid == 16 ? 10 : grid == 32 ? 14 : 18;
+      const int ii = grid == 16 ? 3 : grid == 32 ? 4 : 5;
+      const std::string name =
+          "layered-" + std::to_string(layers) + "x" + std::to_string(width);
+      if (suite_selected(suite_filter, name)) {
+        // Seeds picked so the root degree filter does not insta-refute the
+        // instance — the row must exercise propagation, not a precheck.
+        keep.push_back(layered_dfg(
+            layers, width, static_cast<std::uint64_t>(16 + grid)));
+        cases.emplace_back(name,
+                           prepare_layered(keep.back(), width, ii));
+      }
+    }
+
+    for (const auto& [name, p] : cases) {
       SpaceOptions opt;
-      opt.engine = engine;
-      std::vector<double> seconds;
       SpaceResult last;
-      for (int r = 0; r < repeats; ++r) {
-        last = find_monomorphism(*p.dfg, arch, p.labels, p.ii, opt);
-        seconds.push_back(last.seconds);
+      const double bitset_med = run_search(p, arch, opt, repeats, last);
+      emit_space_row(json, name, grid, "bitset", p.ii, bitset_med, last);
+      if (!multi_word) {
+        opt.engine = SpaceEngine::kReference;
+        SpaceResult ref_last;
+        const double med = run_search(p, arch, opt, repeats, ref_last);
+        if (bitset_med > 0.0) ref_ratios.push_back(med / bitset_med);
+        emit_space_row(json, name, grid, "reference", p.ii, med, ref_last);
+      } else {
+        const simd::Level saved = simd::active_level();
+        simd::set_level(simd::Level::kScalar);
+        SpaceResult scalar_last;
+        const double med = run_search(p, arch, opt, repeats, scalar_last);
+        simd::set_level(saved);
+        if (bitset_med > 0.0) scalar_ratio->push_back(med / bitset_med);
+        emit_space_row(json, name, grid, "bitset-scalar", p.ii, med,
+                       scalar_last);
       }
-      const double med = median(seconds);
-      if (engine == SpaceEngine::kBitset) {
-        bitset_median = med;
-      } else if (bitset_median > 0.0) {
-        ratios.push_back(med / bitset_median);
-      }
-      json.begin_object();
-      json.field("suite", b.name);
-      json.field("engine", to_string(engine));
-      json.field("ii", p.ii);
-      json.field("found", last.found);
-      json.field("truncated", last.truncated);
-      json.field("seconds", med);
-      json.field("nodes_expanded", last.nodes_expanded);
-      json.field("backtracks", last.backtracks);
-      json.field("backjumps", last.backjumps);
-      json.field("max_depth", last.max_depth);
-      json.end_object();
     }
   }
   json.end_array();
 
   // Portfolio vs the best single configuration, full decoupled solves.
+  // Grid 8 only: the section tracks the small-fabric mapper end to end.
   json.key("portfolio");
   json.begin_array();
-  for (const Benchmark& b : benchmark_suite()) {
-    DecoupledMapperOptions opt;
-    opt.timeout_s = 30.0;
-    const DecoupledMapper mapper(opt);
-    std::vector<double> single_s;
-    std::vector<double> racing_s;
-    MapResult single;
-    MapResult racing;
-    for (int r = 0; r < repeats; ++r) {
-      // Both sides on the same basis: full wall-clock around the call
-      // (thread spawn/join and validation included).
-      Stopwatch single_wall;
-      single = mapper.map(b.dfg, arch);
-      single_s.push_back(single_wall.elapsed_s());
-      Stopwatch racing_wall;
-      racing = mapper.map_portfolio(b.dfg, arch);
-      racing_s.push_back(racing_wall.elapsed_s());
+  for (const int grid : grids) {
+    if (grid != 8) continue;
+    const CgraArch arch = CgraArch::square(grid);
+    for (const Benchmark& b : benchmark_suite()) {
+      if (!suite_selected(suite_filter, b.name)) continue;
+      DecoupledMapperOptions opt;
+      opt.timeout_s = 30.0;
+      const DecoupledMapper mapper(opt);
+      std::vector<double> single_s;
+      std::vector<double> racing_s;
+      MapResult single;
+      MapResult racing;
+      for (int r = 0; r < repeats; ++r) {
+        // Both sides on the same basis: full wall-clock around the call
+        // (thread spawn/join and validation included).
+        Stopwatch single_wall;
+        single = mapper.map(b.dfg, arch);
+        single_s.push_back(single_wall.elapsed_s());
+        Stopwatch racing_wall;
+        racing = mapper.map_portfolio(b.dfg, arch);
+        racing_s.push_back(racing_wall.elapsed_s());
+      }
+      // No winner_config field, and ii comes from the deterministic single
+      // solve: the threaded race's winner (and thus its II) is scheduling-
+      // dependent, and this record is diffed across PRs.
+      json.begin_object();
+      json.field("suite", b.name);
+      json.field("grid", grid);
+      json.field("single_success", single.success);
+      json.field("single_s", median(single_s));
+      json.field("portfolio_success", racing.success);
+      json.field("portfolio_s", median(racing_s));
+      json.field("ii", single.success ? single.ii : -1);
+      json.end_object();
     }
-    // No winner_config field, and ii comes from the deterministic single
-    // solve: the threaded race's winner (and thus its II) is scheduling-
-    // dependent, and this record is diffed across PRs.
-    json.begin_object();
-    json.field("suite", b.name);
-    json.field("single_success", single.success);
-    json.field("single_s", median(single_s));
-    json.field("portfolio_success", racing.success);
-    json.field("portfolio_s", median(racing_s));
-    json.field("ii", single.success ? single.ii : -1);
-    json.end_object();
   }
   json.end_array();
 
   json.key("summary");
   json.begin_object();
-  json.field("median_speedup_reference_over_bitset", median(ratios));
+  json.field("median_speedup_reference_over_bitset", median(ref_ratios));
+  json.key("median_speedup_scalar_over_simd");
+  json.begin_object();
+  for (std::size_t i = 0; i < scalar_grids.size(); ++i) {
+    json.field(std::to_string(scalar_grids[i]), median(scalar_ratios[i]));
+  }
+  json.end_object();
   json.end_object();
   json.end_object();
   std::cout << '\n';
 }
 
+std::vector<std::string> split_csv(const char* arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* c = arg; *c != '\0'; ++c) {
+    if (*c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int grid = 8;
+  std::vector<int> grids;
+  std::vector<std::string> suites;
   int repeats = 5;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
-    if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
-      grid = std::atoi(argv[i + 1]);
+    // --grid N (single, legacy) or --grids 8,16,32 (sections in order).
+    if ((std::strcmp(argv[i], "--grid") == 0 ||
+         std::strcmp(argv[i], "--grids") == 0) &&
+        i + 1 < argc) {
+      for (const std::string& g : split_csv(argv[i + 1])) {
+        const int side = std::atoi(g.c_str());
+        if (side >= 1) grids.push_back(side);
+      }
+    }
+    if (std::strcmp(argv[i], "--suites") == 0 && i + 1 < argc) {
+      suites = split_csv(argv[i + 1]);
     }
     if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = std::atoi(argv[i + 1]);
     }
   }
   if (json) {
-    run_json_mode(std::max(grid, 1), std::max(repeats, 1));
+    if (grids.empty()) grids.push_back(8);
+    run_json_mode(grids, std::max(repeats, 1), suites);
     return 0;
   }
   benchmark::Initialize(&argc, argv);

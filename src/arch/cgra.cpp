@@ -83,6 +83,38 @@ CgraArch::CgraArch(int rows, int cols, Topology topology)
     }
     distance2_masks_.push_back(std::move(ball));
   }
+
+  // Degree-threshold masks: need == 0 is the full set, need > degree_ the
+  // empty one (index degree_ + 1).
+  min_degree_masks_.reserve(static_cast<std::size_t>(degree_) + 2);
+  for (int need = 0; need <= degree_ + 1; ++need) {
+    PeSet mask(n);
+    for (PeId pe = 0; pe < n; ++pe) {
+      if (static_cast<int>(
+              closed_neighbors_[static_cast<std::size_t>(pe)].size()) >=
+          need) {
+        mask.set(pe);
+      }
+    }
+    min_degree_masks_.push_back(std::move(mask));
+  }
+}
+
+PeSet CgraArch::common_target_mask(PeId pe, int min_common) const {
+  MONOMAP_ASSERT(has_pe(pe) && min_common >= 1);
+  PeSet mask(num_pes());
+  const PeSet& mine = closed_neighbor_masks_[static_cast<std::size_t>(pe)];
+  // |N[pe] ∩ N[q]| >= 1 already implies q within two grid hops of pe (some
+  // common member is adjacent-or-equal to both), so only the distance-2
+  // ball needs probing — constant work per PE as the grid grows.
+  distance2_masks_[static_cast<std::size_t>(pe)].for_each([&](int q) {
+    if (mine.intersect_count(
+            closed_neighbor_masks_[static_cast<std::size_t>(q)]) >=
+        min_common) {
+      mask.set(q);
+    }
+  });
+  return mask;
 }
 
 std::string CgraArch::description() const {

@@ -7,6 +7,7 @@
 #ifndef MONOMAP_ARCH_CGRA_HPP
 #define MONOMAP_ARCH_CGRA_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -89,6 +90,28 @@ class CgraArch {
     return distance2_masks_[static_cast<std::size_t>(pe)];
   }
 
+  /// PEs q whose closed neighbourhood shares at least `min_common` members
+  /// with N[pe] — the multiplicity-aware sharpening of distance2_mask: if k
+  /// DFG nodes (same slot label) are each adjacent to both of two nodes a
+  /// and b, they need k *distinct* PEs inside N[phi(a)] ∩ N[phi(b)], so
+  /// phi(b) ∈ common_target_mask(phi(a), k). min_common == 1 reproduces
+  /// distance2_mask exactly; on a 4-neighbour mesh min_common == 2 already
+  /// drops the straight-line distance-2 targets (midpoint only, |∩| = 1)
+  /// and min_common == 3 pins q == pe. Computed on demand (callers cache —
+  /// the space searcher builds per-k tables only for the multiplicities its
+  /// DFG actually contains).
+  [[nodiscard]] PeSet common_target_mask(PeId pe, int min_common) const;
+
+  /// PEs whose closed neighbourhood holds at least `need` members. The
+  /// space search intersects candidate domains with this instead of probing
+  /// closed_neighbors(p).size() per PE (the root degree filter). `need`
+  /// beyond connectivity_degree() yields the empty set.
+  [[nodiscard]] const PeSet& min_closed_degree_mask(int need) const {
+    MONOMAP_ASSERT(need >= 0);
+    const int idx = std::min(need, degree_ + 1);
+    return min_degree_masks_[static_cast<std::size_t>(idx)];
+  }
+
   [[nodiscard]] bool adjacent(PeId a, PeId b) const {
     MONOMAP_ASSERT(has_pe(a) && has_pe(b));
     return neighbor_masks_[static_cast<std::size_t>(a)].test(b);
@@ -116,6 +139,7 @@ class CgraArch {
   std::vector<PeSet> neighbor_masks_;
   std::vector<PeSet> closed_neighbor_masks_;
   std::vector<PeSet> distance2_masks_;
+  std::vector<PeSet> min_degree_masks_;  // indexed by `need`, 0..degree_+1
 };
 
 }  // namespace monomap

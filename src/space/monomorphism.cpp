@@ -1,9 +1,11 @@
 #include "space/monomorphism.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/assert.hpp"
 #include "support/pe_set.hpp"
+#include "support/simd.hpp"
 
 namespace monomap {
 
@@ -210,20 +212,6 @@ class BitsetSearcher {
     }
     words_ = (num_pes_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
     node_words_ = (n_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
-    // Hard bound on live trail entries: per active depth, the same-label
-    // loop trails at most one word per node and the neighbour and
-    // distance-2 loops at most `words_` per node each, and at most n_
-    // depths are active. Reserving the bound up front is what keeps the
-    // recursion heap-silent — run() asserts it was never exceeded.
-    trail_.reserve(static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(2 * words_ + 1));
-    trail_reserved_ = trail_.capacity();
-    // Pruner-set bound: per (depth, pruned node) at most two new bits —
-    // the assigned culprit and one distance-2 witness.
-    pruner_trail_.reserve(static_cast<std::size_t>(n_) *
-                          static_cast<std::size_t>(n_) * 2);
-    pruner_trail_reserved_ = pruner_trail_.capacity();
 
     value_order_.reserve(static_cast<std::size_t>(num_pes_));
     for (PeId p = 0; p < num_pes_; ++p) value_order_.push_back(p);
@@ -257,32 +245,117 @@ class BitsetSearcher {
     }
     if (options_.distance2_filter) {
       // Paths-of-length-2 adjacency of the labelled DFG: for every node a,
-      // the nodes b at undirected distance exactly 2, each with one common
-      // neighbour recorded as the witness. The witness is what makes the
-      // implied constraint valid on the induced subproblem, so it joins
-      // the conflict explanation whenever the pruning participates in a
-      // refutation.
+      // the nodes b at undirected distance exactly 2 with *all* their
+      // common neighbours. The first witness drives the plain ball filter
+      // (its existence is what makes the implied constraint valid on the
+      // induced subproblem, so it joins the conflict explanation whenever
+      // the pruning participates in a refutation); the size of the largest
+      // same-label witness group is the pair's multiplicity, which the
+      // multiplicity-aware filter turns into a sharper target mask.
       dist2_.resize(static_cast<std::size_t>(n_));
       PeSet seen(n_);
+      std::vector<std::vector<NodeId>> wit(static_cast<std::size_t>(n_));
+      std::vector<NodeId> partners;
+      std::vector<char> mult_used;
       for (NodeId a = 0; a < n_; ++a) {
         seen.clear();
         seen.set(a);
         for (const NodeId w : neighbors_[static_cast<std::size_t>(a)]) {
           seen.set(w);
         }
+        partners.clear();
         for (const NodeId w : neighbors_[static_cast<std::size_t>(a)]) {
           for (const NodeId b : neighbors_[static_cast<std::size_t>(w)]) {
-            if (seen.test(b)) continue;
-            seen.set(b);
-            dist2_[static_cast<std::size_t>(a)].push_back({b, w});
+            if (seen.test(b)) continue;  // a itself, or adjacent to a
+            auto& wl = wit[static_cast<std::size_t>(b)];
+            if (wl.empty()) partners.push_back(b);
+            wl.push_back(w);
+          }
+        }
+        for (const NodeId b : partners) {
+          auto& wl = wit[static_cast<std::size_t>(b)];
+          // Largest same-label witness group; ties break to the smallest
+          // label so the pair (and the search trace) is deterministic.
+          int best_label = -1;
+          int best_count = 0;
+          for (const NodeId w : wl) {
+            const int l = labels_[static_cast<std::size_t>(w)];
+            int c = 0;
+            for (const NodeId x : wl) {
+              c += labels_[static_cast<std::size_t>(x)] == l ? 1 : 0;
+            }
+            if (c > best_count ||
+                (c == best_count && (best_label < 0 || l < best_label))) {
+              best_count = c;
+              best_label = l;
+            }
+          }
+          D2Pair pair{b, wl[0], best_count, 0};
+          if (best_count >= 2) {
+            pair.wit_begin =
+                static_cast<std::int32_t>(d2_witness_pool_.size());
+            for (const NodeId w : wl) {
+              if (labels_[static_cast<std::size_t>(w)] == best_label) {
+                d2_witness_pool_.push_back(w);
+              }
+            }
+            max_mult_ = std::max(max_mult_, best_count);
+            if (static_cast<int>(mult_used.size()) <= best_count) {
+              mult_used.resize(static_cast<std::size_t>(best_count) + 1, 0);
+            }
+            mult_used[static_cast<std::size_t>(best_count)] = 1;
+          }
+          dist2_[static_cast<std::size_t>(a)].push_back(pair);
+          wl.clear();
+        }
+      }
+      // Per-multiplicity target-mask tables, only for the multiplicities
+      // this DFG actually contains (commonly none, or just k = 2). Probing
+      // stays within each PE's distance-2 ball, so the build is O(PEs)
+      // with a constant per-PE factor. Armed on multi-word fabrics only:
+      // on <= 64 PEs the k-masks are barely sharper than the ball (border
+      // effects dominate) while the extra pruner witnesses enlarge
+      // conflict sets and measurably weaken backjumping — nw 4x4 pays
+      // ~8% more backtracks — whereas 16x16 and up win 13-26% (see
+      // SpaceOptions::distance2_multiplicity).
+      use_mult_ = options_.distance2_multiplicity && max_mult_ >= 2 &&
+                  num_pes_ > PeSet::kWordBits;
+      if (use_mult_) {
+        d2k_masks_.resize(static_cast<std::size_t>(max_mult_) + 1);
+        for (int k = 2; k <= max_mult_; ++k) {
+          if (mult_used[static_cast<std::size_t>(k)] == 0) continue;
+          auto& table = d2k_masks_[static_cast<std::size_t>(k)];
+          table.reserve(static_cast<std::size_t>(num_pes_));
+          for (PeId p = 0; p < num_pes_; ++p) {
+            table.push_back(arch_.common_target_mask(p, k));
           }
         }
       }
     }
+
+    // Hard bound on live trail entries: per active depth and pruned node,
+    // the same-label loop trails at most one word, and the node is touched
+    // by either the neighbour loop (<= words_) or the two distance-2
+    // filters (<= 2 * words_), never both; at most n_ depths are active.
+    // Reserving the bound up front is what keeps the recursion heap-silent
+    // — run() asserts it was never exceeded.
+    trail_.reserve(static_cast<std::size_t>(n_) *
+                   static_cast<std::size_t>(n_) *
+                   static_cast<std::size_t>(2 * words_ + 1));
+    trail_reserved_ = trail_.capacity();
+    // Pruner-set bound: per (depth, pruned node) the new bits are at most
+    // the assigned culprit, the primary distance-2 witness, and one
+    // same-label witness group.
+    pruner_trail_.reserve(static_cast<std::size_t>(n_) *
+                          static_cast<std::size_t>(n_) *
+                          static_cast<std::size_t>(2 + std::max(max_mult_,
+                                                                0)));
+    pruner_trail_reserved_ = pruner_trail_.capacity();
   }
 
   SpaceResult run() {
     SpaceResult result;
+    result.words_per_domain = words_;
     Stopwatch watch;
     if (!check_labels(dfg_, arch_, labels_, ii_, result)) {
       result.seconds = watch.elapsed_s();
@@ -305,6 +378,8 @@ class BitsetSearcher {
     // wrong).
     MONOMAP_ASSERT(trail_.capacity() == trail_reserved_);
     MONOMAP_ASSERT(pruner_trail_.capacity() == pruner_trail_reserved_);
+    result.trail_words_saved = trail_words_saved_ + trail_.size();
+    result.multiplicity_prunings = mult_prunings_;
     if (result.found) {
       result.pe = assignment_;
     } else if (result.failure_reason.empty()) {
@@ -331,26 +406,57 @@ class BitsetSearcher {
     PeSet::Word old_bits;
   };
 
+  /// A node at undirected DFG distance exactly 2, with its common-neighbour
+  /// evidence. `witness` is the first-discovered common neighbour (drives
+  /// the plain ball filter); `mult` is the size of the largest same-label
+  /// common-neighbour group, and when mult >= 2 that group lives at
+  /// d2_witness_pool_[wit_begin, wit_begin + mult).
+  struct D2Pair {
+    NodeId partner;
+    NodeId witness;
+    std::int32_t mult;
+    std::int32_t wit_begin;
+  };
+
   enum class Change { kUnchanged, kChanged, kWiped };
 
   [[nodiscard]] bool assigned(NodeId v) const {
     return assignment_[static_cast<std::size_t>(v)] >= 0;
   }
 
-  /// domain_[u] &= mask, trailing every changed word.
+  /// domain_[u] &= mask, trailing every changed word. Multi-word domains
+  /// use a vectorised non-mutating preview per 64-word block: the dirty
+  /// bitmask names exactly the words to trail and rewrite (walked in
+  /// ascending order, so the trail layout is identical at every SIMD
+  /// level), and untouched words are never stored back.
   Change intersect_domain(NodeId u, const PeSet& mask) {
     PeSet& d = domain_[static_cast<std::size_t>(u)];
     PeSet::Word any = 0;
     bool changed = false;
-    for (int w = 0; w < words_; ++w) {
-      const PeSet::Word old = d.word(w);
-      const PeSet::Word next = old & mask.word(w);
-      if (next != old) {
-        trail_.push_back(TrailEntry{u, w, old});
-        d.set_word(w, next);
-        changed = true;
+    if (words_ >= PeSet::kDispatchWords) {
+      for (int base = 0; base < words_; base += 64) {
+        const int n = std::min(64, words_ - base);
+        const simd::AndPreview pv = d.intersect_preview(mask, base, n);
+        any |= pv.any;
+        for (PeSet::Word dirty = pv.dirty; dirty != 0; dirty &= dirty - 1) {
+          const int w = base + std::countr_zero(dirty);
+          const PeSet::Word old = d.word(w);
+          trail_.push_back(TrailEntry{u, w, old});
+          d.restore_word(w, old & mask.word(w));
+          changed = true;
+        }
       }
-      any |= next;
+    } else {
+      for (int w = 0; w < words_; ++w) {
+        const PeSet::Word old = d.word(w);
+        const PeSet::Word next = old & mask.word(w);
+        if (next != old) {
+          trail_.push_back(TrailEntry{u, w, old});
+          d.restore_word(w, next);
+          changed = true;
+        }
+        any |= next;
+      }
     }
     if (any == 0) return Change::kWiped;
     return changed ? Change::kChanged : Change::kUnchanged;
@@ -366,7 +472,7 @@ class BitsetSearcher {
     // nodes are non-empty by invariant — skip the emptiness scan.
     if ((old & bit) == 0) return Change::kUnchanged;
     trail_.push_back(TrailEntry{u, w, old});
-    d.set_word(w, old & ~bit);
+    d.restore_word(w, old & ~bit);
     return d.empty() ? Change::kWiped : Change::kChanged;
   }
 
@@ -413,15 +519,9 @@ class BitsetSearcher {
       }
       if (need <= 1) continue;
       PeSet& d = domain_[static_cast<std::size_t>(v)];
-      bool changed = false;
-      for (PeId p = 0; p < num_pes_; ++p) {
-        if (static_cast<int>(arch_.closed_neighbors(p).size()) < need &&
-            d.test(p)) {
-          d.reset(p);
-          changed = true;
-        }
-      }
-      if (!changed) continue;
+      const PeSet& mask = arch_.min_closed_degree_mask(need);
+      if (d.is_subset_of(mask)) continue;
+      d &= mask;
       for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
         if (labels_[static_cast<std::size_t>(u)] == need_label) {
           pruners_[static_cast<std::size_t>(v)].set(u);
@@ -477,32 +577,59 @@ class BitsetSearcher {
     // the implied constraint only holds on subproblems that contain w.
     if (options_.distance2_filter) {
       const PeSet& ball = arch_.distance2_mask(p);
-      for (const auto& [u, w] : dist2_[static_cast<std::size_t>(v)]) {
+      for (const D2Pair& pr : dist2_[static_cast<std::size_t>(v)]) {
+        const NodeId u = pr.partner;
         if (assigned(u)) continue;
         // An assigned witness already propagated the tighter constraint:
         // domain(u) ⊆ N[phi(w)] ⊆ ball — the intersection is a no-op.
-        if (assigned(w)) continue;
-        const Change c = intersect_domain(u, ball);
-        if (c != Change::kUnchanged) {
-          add_pruner(u, v);
-          add_pruner(u, w);
+        if (!assigned(pr.witness)) {
+          const Change c = intersect_domain(u, ball);
+          if (c != Change::kUnchanged) {
+            add_pruner(u, v);
+            add_pruner(u, pr.witness);
+          }
+          if (c == Change::kWiped) return u;
         }
-        if (c == Change::kWiped) return u;
+        // Multiplicity sharpening: pr.mult same-label common neighbours of
+        // v and u need pr.mult distinct PEs inside N[p] ∩ N[phi(u)], so
+        // phi(u) is confined to common_target_mask(p, pr.mult). All mult
+        // witnesses join u's pruners — the implied constraint (and thus
+        // any refutation resting on this pruning) needs the whole group in
+        // the induced subproblem.
+        if (use_mult_ && pr.mult >= 2) {
+          const Change c = intersect_domain(
+              u, d2k_masks_[static_cast<std::size_t>(pr.mult)]
+                           [static_cast<std::size_t>(p)]);
+          if (c != Change::kUnchanged) {
+            ++mult_prunings_;
+            add_pruner(u, v);
+            for (std::int32_t i = pr.wit_begin;
+                 i < pr.wit_begin + pr.mult; ++i) {
+              add_pruner(u, d2_witness_pool_[static_cast<std::size_t>(i)]);
+            }
+          }
+          if (c == Change::kWiped) return u;
+        }
       }
     }
     return kInvalidNode;
   }
 
   void undo_assign(NodeId v, std::size_t mark, std::size_t pruner_mark) {
+    // restore_word, not set_word: every old_bits value was read out of the
+    // set it goes back into, so the tail-mask re-check would be pure
+    // overhead on the hottest loop in the engine.
+    trail_words_saved_ += trail_.size() - mark;
     for (std::size_t i = trail_.size(); i > mark; --i) {
       const TrailEntry& e = trail_[i - 1];
-      domain_[static_cast<std::size_t>(e.node)].set_word(e.word, e.old_bits);
+      domain_[static_cast<std::size_t>(e.node)].restore_word(e.word,
+                                                             e.old_bits);
     }
     trail_.resize(mark);
     for (std::size_t i = pruner_trail_.size(); i > pruner_mark; --i) {
       const TrailEntry& e = pruner_trail_[i - 1];
-      pruners_[static_cast<std::size_t>(e.node)].set_word(e.word,
-                                                          e.old_bits);
+      pruners_[static_cast<std::size_t>(e.node)].restore_word(e.word,
+                                                              e.old_bits);
     }
     pruner_trail_.resize(pruner_mark);
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
@@ -646,7 +773,7 @@ class BitsetSearcher {
       result.shallowest_retreat = target;
     }
     for (int w = 0; w < node_words_; ++w) {
-      fail_set_.set_word(w, cs.word(w));
+      fail_set_.restore_word(w, cs.word(w));
     }
     fail_level_ = target;
     return false;
@@ -664,9 +791,18 @@ class BitsetSearcher {
   int node_words_ = 0;  // words per node set
   std::vector<std::vector<NodeId>> neighbors_;
   std::vector<std::vector<NodeId>> nodes_by_label_;
-  /// Per node: (partner, witness) for every node at undirected DFG
-  /// distance exactly 2, one shared-neighbour witness each.
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> dist2_;
+  /// Per node: every node at undirected DFG distance exactly 2, with the
+  /// first-discovered witness and the same-label multiplicity evidence.
+  std::vector<std::vector<D2Pair>> dist2_;
+  /// Backing store for the D2Pair same-label witness groups (mult >= 2).
+  std::vector<NodeId> d2_witness_pool_;
+  /// d2k_masks_[k][p] == arch_.common_target_mask(p, k); built only for
+  /// the multiplicities k >= 2 this DFG contains, when use_mult_.
+  std::vector<std::vector<PeSet>> d2k_masks_;
+  int max_mult_ = 0;      // largest same-label witness-group size seen
+  bool use_mult_ = false; // multiplicity filter armed (toggle && mult >= 2)
+  std::uint64_t mult_prunings_ = 0;
+  std::uint64_t trail_words_saved_ = 0;
   std::vector<PeId> assignment_;
   std::vector<int> mapped_neighbor_count_;
   std::vector<int> level_of_;      // decision level per node; -1 unassigned

@@ -80,6 +80,22 @@ struct SpaceOptions {
   /// measures the supplemental-filtering family, not paths-of-length-2
   /// alone).
   bool distance2_filter = true;
+  /// Bitset engine: multiplicity-aware distance-2 filtering (requires
+  /// distance2_filter). When two DFG nodes a, b have k >= 2 common
+  /// neighbours that carry the *same* slot label, those k nodes need k
+  /// distinct PEs adjacent-or-equal to both phi(a) and phi(b) (mono1 +
+  /// mono3), so assigning a restricts b's domain to
+  /// CgraArch::common_target_mask(phi(a), k) — a strict sharpening of the
+  /// plain distance-2 ball (on a mesh, k = 2 excludes the straight-line
+  /// distance-2 targets and k = 3 pins phi(b) = phi(a)). The searcher arms
+  /// it on multi-word fabrics only (> 64 PEs): there it cuts refutation
+  /// backtracks 13-26% on the hard suite cases, while on tiny grids the
+  /// masks are barely sharper than the ball and the extra conflict-set
+  /// witnesses measurably weaken backjumping, so small-fabric traces stay
+  /// exactly as before. Implied by the original constraints: toggling
+  /// never changes found/not-found, only search effort (ablation toggle;
+  /// pinned by tests/space_engines_test.cpp).
+  bool distance2_multiplicity = true;
   /// Bitset engine: conflict-directed backjumping. On exhausting a node's
   /// candidates the search jumps to the deepest decision that pruned any
   /// domain involved in the failure, instead of the chronological parent.
@@ -127,6 +143,18 @@ struct SpaceResult {
   /// conflict sets reached shallow decisions marks a hopeless schedule
   /// family.
   int shallowest_retreat = 0;
+  /// Bitset engine: PeSet words per candidate domain (1 up to 64 PEs, 16 at
+  /// 32x32, 64 at 64x64) — the unit of domain-trail traffic.
+  int words_per_domain = 0;
+  /// Bitset engine: total words recorded on (and restored from) the domain
+  /// trail. The trail saves exactly the words a propagation changed;
+  /// compare against backtracks * num_nodes * words_per_domain — the
+  /// traffic a whole-domain snapshot scheme would pay — to see the
+  /// dirty-word saving in bench JSON.
+  std::uint64_t trail_words_saved = 0;
+  /// Bitset engine: domain prunings contributed by the multiplicity-aware
+  /// distance-2 filter (distance2_multiplicity).
+  std::uint64_t multiplicity_prunings = 0;
   double seconds = 0.0;
   std::string failure_reason;
   /// Conflict explanation, set only when the search produced a complete

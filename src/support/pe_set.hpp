@@ -5,17 +5,28 @@
 // the inner-loop operations — "intersect with a neighbourhood", "how many
 // candidates remain", "is the domain wiped out" — into a handful of
 // bitwise ops and popcounts, independent of how many elements the set holds.
-// Capacity is fixed at construction (one heap allocation); every subsequent
-// operation is allocation-free, which is what lets the searcher preallocate
-// all of its domains up front and keep the recursion heap-silent.
+// Capacity is fixed at construction (one cache-line-aligned heap
+// allocation); every subsequent operation is allocation-free, which is what
+// lets the searcher preallocate all of its domains up front and keep the
+// recursion heap-silent.
+//
+// Word layout: capacity bits packed little-endian into 64-bit words; the
+// unused high bits of the last word (the "tail") are always zero, so
+// count()/empty()/== never need masking. Up to 64 PEs (an 8x8 mesh) a set
+// is a single word and every operation below compiles to a couple of
+// instructions; at 1K-4K PEs (32x32-64x64 fabrics) a set is 16-64 words and
+// the bulk operations dispatch to the runtime-selected SIMD kernels in
+// support/simd.hpp (AVX2/AVX-512 with a bit-identical scalar fallback).
 #ifndef MONOMAP_SUPPORT_PE_SET_HPP
 #define MONOMAP_SUPPORT_PE_SET_HPP
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace monomap {
 
@@ -23,6 +34,11 @@ class PeSet {
  public:
   using Word = std::uint64_t;
   static constexpr int kWordBits = 64;
+  /// Sets at least this many words wide route bulk operations through the
+  /// dispatched SIMD kernels; narrower sets keep the inline word loops
+  /// (which the compiler fully unrolls and which beat an indirect call for
+  /// one-or-two-word sets, the small-mesh regime).
+  static constexpr int kDispatchWords = 4;
 
   PeSet() = default;
 
@@ -71,11 +87,17 @@ class PeSet {
   }
 
   [[nodiscard]] int count() const {
+    if (num_words() >= kDispatchWords) {
+      return simd::count(words_.data(), words_.size());
+    }
     int c = 0;
     for (const Word w : words_) c += std::popcount(w);
     return c;
   }
   [[nodiscard]] bool empty() const {
+    if (num_words() >= kDispatchWords) {
+      return simd::all_zero(words_.data(), words_.size());
+    }
     for (const Word w : words_) {
       if (w != 0) return false;
     }
@@ -85,24 +107,82 @@ class PeSet {
 
   PeSet& operator&=(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      simd::and_assign(words_.data(), o.words_.data(), words_.size());
+      return *this;
+    }
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
     return *this;
   }
   PeSet& operator|=(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      simd::or_assign(words_.data(), o.words_.data(), words_.size());
+      return *this;
+    }
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
     return *this;
   }
   /// this &= ~o (set difference).
   PeSet& and_not(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      simd::and_not_assign(words_.data(), o.words_.data(), words_.size());
+      return *this;
+    }
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
     return *this;
+  }
+
+  /// Fused this &= o that also reports whether anything is left: one pass
+  /// where operator&= followed by empty() would take two.
+  bool intersect_and_test(const PeSet& o) {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      return simd::and_assign_any(words_.data(), o.words_.data(),
+                                  words_.size()) != 0;
+    }
+    Word any = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      any |= (words_[i] &= o.words_[i]);
+    }
+    return any != 0;
+  }
+
+  /// |this & o| without materialising the intersection.
+  [[nodiscard]] int intersect_count(const PeSet& o) const {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      return simd::intersect_count(words_.data(), o.words_.data(),
+                                   words_.size());
+    }
+    int c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += std::popcount(words_[i] & o.words_[i]);
+    }
+    return c;
+  }
+
+  /// Non-mutating fused intersect over words [base, base+n), n <= 64: which
+  /// words would `this &= o` change (bit i of .dirty <=> word base+i), and
+  /// the OR of the intersection words in the range (.any). The searcher's
+  /// trail uses this to rewrite (and record) only the dirty words.
+  [[nodiscard]] simd::AndPreview intersect_preview(const PeSet& o, int base,
+                                                   int n) const {
+    MONOMAP_ASSERT(o.words_.size() == words_.size());
+    MONOMAP_ASSERT(base >= 0 && n >= 0 &&
+                   base + n <= static_cast<int>(words_.size()));
+    return simd::and_preview(words_.data() + base, o.words_.data() + base,
+                             static_cast<std::size_t>(n));
   }
 
   /// True if every member of this set is also in `o`.
   [[nodiscard]] bool is_subset_of(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      return simd::is_subset_of(words_.data(), o.words_.data(),
+                                words_.size());
+    }
     for (std::size_t i = 0; i < words_.size(); ++i) {
       if ((words_[i] & ~o.words_[i]) != 0) return false;
     }
@@ -111,6 +191,9 @@ class PeSet {
 
   [[nodiscard]] bool intersects(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    if (num_words() >= kDispatchWords) {
+      return simd::intersects(words_.data(), o.words_.data(), words_.size());
+    }
     for (std::size_t i = 0; i < words_.size(); ++i) {
       if ((words_[i] & o.words_[i]) != 0) return true;
     }
@@ -128,6 +211,22 @@ class PeSet {
   /// Lowest set id > prev, or -1 when exhausted.
   [[nodiscard]] int find_next(int prev) const { return find_from(prev + 1); }
 
+  /// Lowest set id >= start, or -1 when exhausted. Starts below 0 are
+  /// clamped; starts at or beyond capacity() return -1.
+  [[nodiscard]] int find_from(int start) const {
+    if (start < 0) start = 0;
+    if (start >= capacity_) return -1;
+    std::size_t wi = static_cast<std::size_t>(start / kWordBits);
+    Word w = words_[wi] >> (start % kWordBits);
+    if (w != 0) return start + std::countr_zero(w);
+    for (++wi; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return static_cast<int>(wi) * kWordBits + std::countr_zero(words_[wi]);
+      }
+    }
+    return -1;
+  }
+
   template <typename F>
   void for_each(F&& f) const {
     for (std::size_t wi = 0; wi < words_.size(); ++wi) {
@@ -144,27 +243,26 @@ class PeSet {
   [[nodiscard]] Word word(int i) const {
     return words_[static_cast<std::size_t>(i)];
   }
+  /// Read-only view of the backing words (cache-line aligned).
+  [[nodiscard]] std::span<const Word> words() const {
+    return {words_.data(), words_.size()};
+  }
+  /// Checked word store for *new* bit patterns.
   void set_word(int i, Word w) {
     // Phantom bits beyond capacity() would corrupt count()/empty()/==.
     MONOMAP_ASSERT((w & ~tail_mask(i)) == 0);
     words_[static_cast<std::size_t>(i)] = w;
   }
-
- private:
-  [[nodiscard]] int find_from(int start) const {
-    if (start < 0) start = 0;
-    if (start >= capacity_) return -1;
-    std::size_t wi = static_cast<std::size_t>(start / kWordBits);
-    Word w = words_[wi] >> (start % kWordBits);
-    if (w != 0) return start + std::countr_zero(w);
-    for (++wi; wi < words_.size(); ++wi) {
-      if (words_[wi] != 0) {
-        return static_cast<int>(wi) * kWordBits + std::countr_zero(words_[wi]);
-      }
-    }
-    return -1;
+  /// Unchecked word store for values previously read via word()/words():
+  /// the backtracking trail restores thousands of words per search, and
+  /// (with always-on asserts) re-deriving the tail mask per word is pure
+  /// overhead for bits that were in the set before. Callers writing any
+  /// *new* pattern must use set_word.
+  void restore_word(int i, Word w) {
+    words_[static_cast<std::size_t>(i)] = w;
   }
 
+ private:
   /// Clear the unused high bits of the last word so count()/empty() stay
   /// exact after fill().
   void trim() {
@@ -183,7 +281,7 @@ class PeSet {
   }
 
   int capacity_ = 0;
-  std::vector<Word> words_;
+  std::vector<Word, simd::CacheAlignedAllocator<Word>> words_;
 };
 
 }  // namespace monomap

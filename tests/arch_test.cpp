@@ -162,6 +162,74 @@ TEST(Cgra, Distance2MaskContainsClosedNeighborhood) {
   }
 }
 
+TEST(Cgra, CommonTargetMaskMeshHandComputed) {
+  // 4x4 mesh, interior PE (1,1) = 5: N[5] = {1,4,5,6,9}.
+  //  * k=1 reproduces the distance-2 ball exactly.
+  //  * k=2 keeps 5 itself, the 4 direct neighbours (share {q, 5}) and the
+  //    4 diagonal distance-2 PEs (share two "corner" PEs), but drops the
+  //    straight-line distance-2 targets (midpoint only: |N[5] ∩ N[7]| =
+  //    |{6}| = 1).
+  //  * k=3 pins q == 5 (only N[5] shares three members with itself).
+  const CgraArch arch = CgraArch::square(4);
+  const PeId p = arch.pe_at(1, 1);
+  EXPECT_EQ(arch.common_target_mask(p, 1), arch.distance2_mask(p));
+  const PeSet k2 = arch.common_target_mask(p, 2);
+  const std::vector<PeId> expected_k2 = {
+      p,
+      arch.pe_at(0, 1), arch.pe_at(1, 0), arch.pe_at(1, 2), arch.pe_at(2, 1),
+      arch.pe_at(0, 0), arch.pe_at(0, 2), arch.pe_at(2, 0), arch.pe_at(2, 2)};
+  EXPECT_EQ(k2.count(), static_cast<int>(expected_k2.size()));
+  for (const PeId q : expected_k2) {
+    EXPECT_TRUE(k2.test(q)) << q;
+  }
+  EXPECT_FALSE(k2.test(arch.pe_at(1, 3)));  // straight-line distance 2
+  EXPECT_FALSE(k2.test(arch.pe_at(3, 1)));
+  const PeSet k3 = arch.common_target_mask(p, 3);
+  EXPECT_EQ(k3.count(), 1);
+  EXPECT_TRUE(k3.test(p));
+}
+
+TEST(Cgra, CommonTargetMaskMatchesBruteForce) {
+  // Defining property on every pair, all topologies: q is in the mask iff
+  // the closed neighbourhoods share at least min_common members.
+  for (const Topology t :
+       {Topology::kMesh, Topology::kTorus, Topology::kDiagonal}) {
+    const CgraArch arch(4, 5, t);
+    for (PeId p = 0; p < arch.num_pes(); ++p) {
+      for (int k = 1; k <= 4; ++k) {
+        const PeSet mask = arch.common_target_mask(p, k);
+        EXPECT_TRUE(mask.is_subset_of(arch.distance2_mask(p)));
+        for (PeId q = 0; q < arch.num_pes(); ++q) {
+          const int common = arch.closed_neighbor_mask(p).intersect_count(
+              arch.closed_neighbor_mask(q));
+          EXPECT_EQ(mask.test(q), common >= k)
+              << topology_name(t) << " p=" << p << " q=" << q << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Cgra, MinClosedDegreeMaskThresholds) {
+  // 3x3 mesh closed-neighbourhood sizes: corners 3, edges 4, center 5.
+  const CgraArch arch = CgraArch::square(3);
+  EXPECT_EQ(arch.min_closed_degree_mask(0).count(), 9);  // need 0: all PEs
+  EXPECT_EQ(arch.min_closed_degree_mask(3).count(), 9);
+  EXPECT_EQ(arch.min_closed_degree_mask(4).count(), 5);  // edges + center
+  EXPECT_EQ(arch.min_closed_degree_mask(5).count(), 1);
+  EXPECT_TRUE(arch.min_closed_degree_mask(5).test(arch.pe_at(1, 1)));
+  // Beyond the connectivity degree the mask is empty (clamped index).
+  EXPECT_EQ(arch.min_closed_degree_mask(6).count(), 0);
+  EXPECT_EQ(arch.min_closed_degree_mask(100).count(), 0);
+  for (PeId p = 0; p < arch.num_pes(); ++p) {
+    const int size = static_cast<int>(arch.closed_neighbors(p).size());
+    for (int need = 0; need <= 6; ++need) {
+      EXPECT_EQ(arch.min_closed_degree_mask(need).test(p), size >= need)
+          << "p=" << p << " need=" << need;
+    }
+  }
+}
+
 TEST(Cgra, InvalidSizeThrows) {
   EXPECT_THROW(CgraArch(0, 3), AssertionError);
 }

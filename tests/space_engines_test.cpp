@@ -228,18 +228,137 @@ TEST(SpaceEngines, TogglesPreserveCompleteness) {
       SpaceOptions base = engine_options(SpaceEngine::kBitset);
       const SpaceResult full = find_monomorphism(dfg, arch, labels, ii, base);
       for (const bool d2 : {false, true}) {
-        for (const bool cbj : {false, true}) {
-          SpaceOptions opt = base;
-          opt.distance2_filter = d2;
-          opt.backjumping = cbj;
-          const SpaceResult r = find_monomorphism(dfg, arch, labels, ii, opt);
-          EXPECT_EQ(r.found, full.found)
-              << "d2=" << d2 << " cbj=" << cbj << " seed=" << seed
-              << " ii=" << ii;
+        for (const bool d2mult : {false, true}) {
+          for (const bool cbj : {false, true}) {
+            SpaceOptions opt = base;
+            opt.distance2_filter = d2;
+            opt.distance2_multiplicity = d2mult;
+            opt.backjumping = cbj;
+            const SpaceResult r =
+                find_monomorphism(dfg, arch, labels, ii, opt);
+            EXPECT_EQ(r.found, full.found)
+                << "d2=" << d2 << " d2mult=" << d2mult << " cbj=" << cbj
+                << " seed=" << seed << " ii=" << ii;
+          }
         }
       }
     }
   }
+}
+
+TEST(SpaceEngines, MultiplicityFilterBitesOnDenseDfgs) {
+  // Dense random DFGs (many shared neighbours) must actually trigger the
+  // multiplicity-aware distance-2 prunings, and toggling the filter must
+  // never change found/not-found. 12x12: the filter only arms itself on
+  // multi-word fabrics (> 64 PEs).
+  const CgraArch arch(12, 12, Topology::kMesh);
+  std::uint64_t total_prunings = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SyntheticSpec spec;
+    spec.num_nodes = 14 + static_cast<int>(seed) * 2;
+    spec.extra_edge_prob = 0.8;
+    spec.max_degree = 6;
+    spec.seed = seed * 3571;
+    const Dfg dfg = random_dfg(spec);
+    for (int ii = 2; ii <= 3; ++ii) {
+      Rng rng(seed * 29 + static_cast<std::uint64_t>(ii));
+      std::vector<int> labels(static_cast<std::size_t>(dfg.num_nodes()));
+      for (int& l : labels) {
+        l = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(ii)));
+      }
+      SpaceOptions with = engine_options(SpaceEngine::kBitset);
+      SpaceOptions without = with;
+      without.distance2_multiplicity = false;
+      const SpaceResult on = find_monomorphism(dfg, arch, labels, ii, with);
+      const SpaceResult off =
+          find_monomorphism(dfg, arch, labels, ii, without);
+      EXPECT_EQ(on.found, off.found) << "seed=" << seed << " ii=" << ii;
+      EXPECT_EQ(off.multiplicity_prunings, 0u) << "toggle must disarm";
+      total_prunings += on.multiplicity_prunings;
+      if (on.found) expect_valid_placement(dfg, arch, labels, on);
+    }
+  }
+  EXPECT_GT(total_prunings, 0u)
+      << "the dense sweep never exercised the multiplicity filter";
+}
+
+TEST(SpaceEngines, DifferentialLargeGrid) {
+  // Production-scale fabric: the bitset engine on 32x32 (16-word domains,
+  // SIMD kernel regime) against the scan-based reference, with the
+  // multiplicity filter both armed and disarmed.
+  const CgraArch arch = CgraArch::square(32);
+  for (const char* name : {"fft", "gsm"}) {
+    const Benchmark& b = benchmark_by_name(name);
+    TimeSolver solver(b.dfg, arch);
+    const auto sol = solver.next(Deadline(30.0));
+    ASSERT_TRUE(sol.has_value()) << name;
+    std::vector<int> labels;
+    for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+      labels.push_back(sol->label(v));
+    }
+    const SpaceResult reference = find_monomorphism(
+        b.dfg, arch, labels, sol->ii, engine_options(SpaceEngine::kReference));
+    for (const bool d2mult : {false, true}) {
+      SpaceOptions opt = engine_options(SpaceEngine::kBitset);
+      opt.distance2_multiplicity = d2mult;
+      const SpaceResult bitset =
+          find_monomorphism(b.dfg, arch, labels, sol->ii, opt);
+      ASSERT_EQ(bitset.found, reference.found)
+          << name << " d2mult=" << d2mult;
+      EXPECT_EQ(bitset.words_per_domain, 16) << name;
+      if (bitset.found) {
+        expect_valid_placement(b.dfg, arch, labels, bitset);
+      }
+    }
+    if (reference.found) {
+      expect_valid_placement(b.dfg, arch, labels, reference);
+    }
+  }
+}
+
+TEST(SpaceEngines, SimdLevelsAreTraceIdentical) {
+  // The acceptance contract of the kernel layer: every SIMD level the CPU
+  // supports must produce the exact search trace of the scalar kernels —
+  // same outcome, same nodes_expanded/backtracks/backjumps/max_depth, same
+  // trail traffic — on multi-word instances (16x16 = 4 words crosses the
+  // dispatch threshold, 32x32 = 16 words is the production regime).
+  const simd::Level saved = simd::active_level();
+  const int best = static_cast<int>(simd::best_supported_level());
+  for (const int side : {16, 32}) {
+    const CgraArch arch = CgraArch::square(side);
+    for (const char* name : {"fft", "hotspot3D"}) {
+      const Benchmark& b = benchmark_by_name(name);
+      TimeSolver solver(b.dfg, arch);
+      const auto sol = solver.next(Deadline(30.0));
+      ASSERT_TRUE(sol.has_value()) << name;
+      std::vector<int> labels;
+      for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+        labels.push_back(sol->label(v));
+      }
+      simd::set_level(simd::Level::kScalar);
+      const SpaceResult scalar = find_monomorphism(
+          b.dfg, arch, labels, sol->ii, engine_options(SpaceEngine::kBitset));
+      for (int lv = 1; lv <= best; ++lv) {
+        simd::set_level(static_cast<simd::Level>(lv));
+        const SpaceResult r = find_monomorphism(
+            b.dfg, arch, labels, sol->ii,
+            engine_options(SpaceEngine::kBitset));
+        EXPECT_EQ(r.found, scalar.found) << name << " level " << lv;
+        EXPECT_EQ(r.nodes_expanded, scalar.nodes_expanded)
+            << name << " level " << lv;
+        EXPECT_EQ(r.backtracks, scalar.backtracks) << name << " level " << lv;
+        EXPECT_EQ(r.backjumps, scalar.backjumps) << name << " level " << lv;
+        EXPECT_EQ(r.max_depth, scalar.max_depth) << name << " level " << lv;
+        EXPECT_EQ(r.trail_words_saved, scalar.trail_words_saved)
+            << name << " level " << lv;
+        EXPECT_EQ(r.multiplicity_prunings, scalar.multiplicity_prunings)
+            << name << " level " << lv;
+        EXPECT_EQ(r.pe, scalar.pe) << name << " level " << lv;
+      }
+      simd::set_level(saved);
+    }
+  }
+  simd::set_level(saved);
 }
 
 TEST(SpaceEngines, AdaptiveBudgetCountersAreConsistent) {

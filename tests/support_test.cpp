@@ -1,5 +1,6 @@
 // Tests for the support utilities: assertions, RNG, stopwatch/deadline,
 // tables and CSV.
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include "support/log.hpp"
 #include "support/pe_set.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
@@ -185,6 +187,135 @@ TEST(PeSet, EqualityAndWordAccess) {
   EXPECT_EQ(a, b);
   a.set_word(1, saved);
   EXPECT_TRUE(a.test(64));
+}
+
+TEST(PeSet, MultiWordCapacitiesKeepTailInvariant) {
+  // Around and across word boundaries, and the 64x64-fabric size. fill()
+  // must trim the last word's tail or count()/empty()/== see phantom bits.
+  for (const int cap : {64, 65, 127, 128, 4096}) {
+    PeSet s = PeSet::full(cap);
+    EXPECT_EQ(s.count(), cap) << "capacity " << cap;
+    EXPECT_TRUE(s.test(cap - 1));
+    const int tail = cap % PeSet::kWordBits;
+    if (tail != 0) {
+      EXPECT_EQ(s.word(s.num_words() - 1),
+                (PeSet::Word{1} << tail) - 1) << "capacity " << cap;
+    }
+    s.reset(cap - 1);
+    EXPECT_EQ(s.count(), cap - 1);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(PeSet, SetWordRejectsPhantomTailBits) {
+  PeSet s(65);  // last word holds exactly one valid bit
+  EXPECT_NO_THROW(s.set_word(1, PeSet::Word{1}));
+  EXPECT_THROW(s.set_word(1, PeSet::Word{2}), AssertionError);
+  EXPECT_THROW(s.set_word(1, ~PeSet::Word{0}), AssertionError);
+  // restore_word round-trips values previously read via word()/words().
+  const PeSet::Word saved = s.word(1);
+  s.restore_word(1, 0);
+  EXPECT_FALSE(s.test(64));
+  s.restore_word(1, saved);
+  EXPECT_TRUE(s.test(64));
+  EXPECT_EQ(s.words().size(), 2u);
+  EXPECT_EQ(s.words()[1], saved);
+}
+
+TEST(PeSet, FindFromAcrossWordBoundaries) {
+  PeSet s(4096);
+  for (const int m : {0, 63, 64, 255, 256, 4095}) s.set(m);
+  EXPECT_EQ(s.find_from(-100), 0);  // starts below zero are clamped
+  EXPECT_EQ(s.find_from(1), 63);
+  EXPECT_EQ(s.find_from(63), 63);
+  EXPECT_EQ(s.find_from(64), 64);
+  EXPECT_EQ(s.find_from(65), 255);
+  EXPECT_EQ(s.find_from(257), 4095);
+  EXPECT_EQ(s.find_from(4095), 4095);
+  EXPECT_EQ(s.find_from(4096), -1);  // at/beyond capacity
+  EXPECT_EQ(s.find_next(4095), -1);
+}
+
+TEST(Simd, SetLevelClampsToSupport) {
+  const simd::Level saved = simd::active_level();
+  const simd::Level best = simd::best_supported_level();
+  EXPECT_LE(static_cast<int>(saved), static_cast<int>(best));
+  EXPECT_EQ(simd::set_level(simd::Level::kScalar), simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  // Requesting beyond the CPU's capability installs the best level instead.
+  EXPECT_EQ(simd::set_level(simd::Level::kAvx512), best);
+  EXPECT_EQ(simd::set_level(saved), saved);
+}
+
+TEST(PeSet, FusedKernelsMatchNaiveCompositionAtEveryLevel) {
+  // Property test pinning the bit-identical contract: every fused kernel
+  // (intersect_count, intersect_and_test, intersect_preview, is_subset_of,
+  // intersects) agrees with the naive two-operation composition, and every
+  // SIMD level the CPU supports agrees with every other, across capacities
+  // spanning the 1-word fast path, odd tails, and the 64x64-fabric size.
+  const simd::Level saved = simd::active_level();
+  const int best = static_cast<int>(simd::best_supported_level());
+  Rng rng(4242);
+  for (const int cap : {64, 127, 257, 1024, 4096}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      PeSet a(cap);
+      PeSet b(cap);
+      // Mixed densities, including near-empty intersections so the wipe
+      // path gets exercised.
+      const int density = 1 + static_cast<int>(rng.next_below(64));
+      for (int i = 0; i < cap; ++i) {
+        if (rng.next_below(64) < static_cast<std::uint64_t>(density)) {
+          a.set(i);
+        }
+        if (rng.next_below(64) < 8u) b.set(i);
+      }
+      // Naive expectations via explicit bit loops.
+      int expect_inter = 0;
+      bool expect_subset = true;
+      for (int i = 0; i < cap; ++i) {
+        if (a.test(i) && b.test(i)) ++expect_inter;
+        if (a.test(i) && !b.test(i)) expect_subset = false;
+      }
+      for (int lv = 0; lv <= best; ++lv) {
+        simd::set_level(static_cast<simd::Level>(lv));
+        EXPECT_EQ(a.intersect_count(b), expect_inter) << "level " << lv;
+        EXPECT_EQ(a.is_subset_of(b), expect_subset) << "level " << lv;
+        EXPECT_EQ(a.intersects(b), expect_inter > 0) << "level " << lv;
+        EXPECT_EQ(a.count() - a.intersect_count(b) + b.count(),
+                  [&] {  // |a ∪ b| via or_assign
+                    PeSet u = a;
+                    u |= b;
+                    return u.count();
+                  }());
+        // Preview: dirty words are exactly those the intersection changes,
+        // any == 0 iff the intersection is empty.
+        PeSet inter = a;
+        ASSERT_EQ(inter.intersect_and_test(b), expect_inter > 0)
+            << "level " << lv;
+        EXPECT_EQ(inter.count(), expect_inter) << "level " << lv;
+        for (int base = 0; base < a.num_words(); base += 64) {
+          const int n = std::min(64, a.num_words() - base);
+          const simd::AndPreview pv = a.intersect_preview(b, base, n);
+          PeSet::Word expect_dirty = 0;
+          PeSet::Word expect_any = 0;
+          for (int w = 0; w < n; ++w) {
+            const PeSet::Word aw = a.word(base + w);
+            const PeSet::Word iw = aw & b.word(base + w);
+            if (iw != aw) expect_dirty |= PeSet::Word{1} << w;
+            expect_any |= iw;
+          }
+          EXPECT_EQ(pv.dirty, expect_dirty) << "level " << lv;
+          EXPECT_EQ(pv.any != 0, expect_any != 0) << "level " << lv;
+        }
+        // Difference against the bit-loop expectation.
+        PeSet diff = a;
+        diff.and_not(b);
+        EXPECT_EQ(diff.count(), a.count() - expect_inter) << "level " << lv;
+      }
+    }
+  }
+  simd::set_level(saved);
 }
 
 TEST(Deadline, CancelTokenForcesExpiry) {

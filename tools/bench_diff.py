@@ -15,6 +15,13 @@ effort counters (nodes_expanded for space records, sat_calls and
 schedules_tried for time records) are checked with the same threshold when
 present — they catch search-behaviour regressions independently of machine
 speed.
+
+Row-set drift: a baseline row missing from the fresh run fails the gate
+(exit 1) when the fresh run covers that row's grid section — a case
+silently stopped being benchmarked. Baseline grid sections the fresh run
+does not produce at all are noted and skipped (a single-grid CI gate
+against a multi-grid baseline), as are fresh rows with no baseline yet
+(the first recording of a new section).
 """
 
 import argparse
@@ -80,10 +87,30 @@ def main():
 
     fresh = load_rows(args.fresh, args.key)
     base = load_rows(args.baseline, args.key)
-    missing = sorted(set(base) - set(fresh))
-    if missing:
-        print(f"warning: {len(missing)} baseline row(s) missing from the "
-              f"fresh run: {missing[:5]}{'...' if len(missing) > 5 else ''}")
+
+    # Dropped rows fail loudly, but only inside grid sections the fresh run
+    # actually covers: a CI gate that re-runs one grid against a multi-grid
+    # baseline is comparing a deliberate subset, while a row that vanished
+    # from a grid the fresh run DID produce means a case silently stopped
+    # being benchmarked (suite renamed, engine dropped, found -> skipped).
+    fresh_grids = {grid for (_, grid, _) in fresh}
+    dropped = sorted(label for label in set(base) - set(fresh)
+                     if label[1] in fresh_grids)
+    if dropped:
+        print(f"error: {len(dropped)} baseline row(s) missing from the "
+              f"fresh run within its grid sections: {dropped[:5]}"
+              f"{'...' if len(dropped) > 5 else ''}")
+        return 1
+    skipped_grids = sorted({grid for (_, grid, _) in set(base) - set(fresh)})
+    if skipped_grids:
+        print(f"note: baseline grid section(s) {skipped_grids} not covered "
+              f"by this fresh run; comparing the covered sections only")
+    # New rows (no baseline counterpart) are the first-recording path for a
+    # freshly added grid section or suite: note them, compare the rest.
+    added = sorted(set(fresh) - set(base))
+    if added:
+        print(f"note: {len(added)} fresh row(s) have no baseline yet: "
+              f"{added[:5]}{'...' if len(added) > 5 else ''}")
 
     # Deterministic effort counters are machine-independent; check whichever
     # one this record family carries alongside the primary metric.
