@@ -285,8 +285,9 @@ void run_json_mode(const std::vector<int>& grids, int repeats,
   }
   json.end_array();
 
-  // Portfolio vs the best single configuration, full decoupled solves.
-  // Grid 8 only: the section tracks the small-fabric mapper end to end.
+  // Portfolio and the speculative cross-II race vs the single sequential
+  // configuration, full decoupled solves. Grid 8 only: the section tracks
+  // the small-fabric mapper end to end.
   json.key("portfolio");
   json.begin_array();
   for (const int grid : grids) {
@@ -299,10 +300,12 @@ void run_json_mode(const std::vector<int>& grids, int repeats,
       const DecoupledMapper mapper(opt);
       std::vector<double> single_s;
       std::vector<double> racing_s;
+      std::vector<double> speculative_s;
       MapResult single;
       MapResult racing;
+      MapResult speculative;
       for (int r = 0; r < repeats; ++r) {
-        // Both sides on the same basis: full wall-clock around the call
+        // All sides on the same basis: full wall-clock around the call
         // (thread spawn/join and validation included).
         Stopwatch single_wall;
         single = mapper.map(b.dfg, arch);
@@ -310,10 +313,18 @@ void run_json_mode(const std::vector<int>& grids, int repeats,
         Stopwatch racing_wall;
         racing = mapper.map_portfolio(b.dfg, arch);
         racing_s.push_back(racing_wall.elapsed_s());
+        Stopwatch speculative_wall;
+        SpeculativeOptions sopt;
+        sopt.share_nogoods = true;  // throughput flavour; counters active
+        speculative = mapper.map_speculative(b.dfg, arch, sopt);
+        speculative_s.push_back(speculative_wall.elapsed_s());
       }
       // No winner_config field, and ii comes from the deterministic single
-      // solve: the threaded race's winner (and thus its II) is scheduling-
-      // dependent, and this record is diffed across PRs.
+      // solve: the threaded portfolio's winner (and thus its II) is
+      // scheduling-dependent, and this record is diffed across PRs — as
+      // is the warm speculative race's II (certificate arrival order can
+      // move the policy's give-up points), so only its wall clock and
+      // certificate-traffic counters ride along.
       json.begin_object();
       json.field("suite", b.name);
       json.field("grid", grid);
@@ -321,6 +332,12 @@ void run_json_mode(const std::vector<int>& grids, int repeats,
       json.field("single_s", median(single_s));
       json.field("portfolio_success", racing.success);
       json.field("portfolio_s", median(racing_s));
+      json.field("speculative_success", speculative.success);
+      json.field("speculative_s", median(speculative_s));
+      json.field("speculative_hits", speculative.speculative_hits);
+      json.field("nogoods_lifted_cross_ii",
+                 speculative.nogoods_lifted_cross_ii);
+      json.field("steals", speculative.steals);
       json.field("ii", single.success ? single.ii : -1);
       json.end_object();
     }

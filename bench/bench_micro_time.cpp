@@ -9,6 +9,9 @@
 //    the per-II solver-reuse counters (sessions, horizon extensions,
 //    assumptions used, learnt clauses retained, nogoods added), recorded in
 //    BENCH_time.json to track the time-phase perf trajectory across PRs.
+//    The "hard" section additionally records engine="speculative" rows —
+//    the cross-II race (map_speculative) with its certificate-traffic
+//    counters (speculative_hits, nogoods_lifted_cross_ii, steals).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -151,12 +154,20 @@ void run_json_mode(int grid, int repeats) {
   // where schedule seeding, retry diversification, conflict-set nogoods
   // and the adaptive space budget are decisive, so the baseline pins them
   // explicitly (nw rides along for its II-3-vs-4 sensitivity to the
-  // refutation-patience rule).
+  // refutation-patience rule). Grid 8 rides along for the cross-II
+  // certificate channel: its mII refutations are where the warm rows
+  // harvest certificates. Each case also records the cross-II race on 4
+  // workers (clamped to the machine's cores): engine="speculative" is
+  // the default cold race, which lands on the incremental rows' final II
+  // bit-exactly, and engine="speculative-warm" shares certificates
+  // (SpeculativeOptions::share_nogoods — may settle a different II on
+  // borderline cases); the certificate-traffic counters ride on the warm
+  // rows.
   json.key("hard");
   json.begin_array();
   for (const char* name : {"hotspot3D", "cfd", "nw"}) {
     const Benchmark& b = benchmark_by_name(name);
-    for (const int side : {4, 5}) {
+    for (const int side : {4, 5, 8}) {
       const CgraArch hard_arch = CgraArch::square(side);
       for (const TimeEngine engine :
            {TimeEngine::kIncremental, TimeEngine::kReference}) {
@@ -180,6 +191,42 @@ void run_json_mode(int grid, int repeats) {
         json.field("seconds", median(seconds));
         json.field("schedules_tried", last.schedules_tried);
         json.field("nogoods_added", last.time_stats.nogoods_added);
+        json.field("space_truncated", last.space_truncated);
+        json.field("space_exhausted", last.space_exhausted);
+        json.field("space_backjumps", last.space_backjumps);
+        json.field("budget_extensions", last.budget_extensions);
+        json.field("budget_shrinks", last.budget_shrinks);
+        json.end_object();
+      }
+      for (const bool warm : {false, true}) {
+        DecoupledMapperOptions opt;
+        opt.timeout_s = 120.0;
+        const DecoupledMapper mapper(opt);
+        SpeculativeOptions sopt;
+        sopt.num_threads = 4;
+        sopt.share_nogoods = warm;
+        std::vector<double> seconds;
+        MapResult last;
+        for (int r = 0; r < repeats; ++r) {
+          Stopwatch wall;
+          last = mapper.map_speculative(b.dfg, hard_arch, sopt);
+          seconds.push_back(wall.elapsed_s());
+        }
+        json.begin_object();
+        json.field("suite", b.name);
+        json.field("grid", side);
+        json.field("engine", warm ? "speculative-warm" : "speculative");
+        json.field("success", last.success);
+        json.field("ii", last.success ? last.ii : -1);
+        json.field("seconds", median(seconds));
+        json.field("schedules_tried", last.schedules_tried);
+        json.field("nogoods_added", last.time_stats.nogoods_added);
+        if (warm) {
+          json.field("speculative_hits", last.speculative_hits);
+          json.field("nogoods_lifted_cross_ii",
+                     last.nogoods_lifted_cross_ii);
+          json.field("steals", last.steals);
+        }
         json.field("space_truncated", last.space_truncated);
         json.field("space_exhausted", last.space_exhausted);
         json.field("space_backjumps", last.space_backjumps);

@@ -1,0 +1,93 @@
+#include "mapper/cross_ii_store.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace monomap {
+
+bool cert_hits_labels(const SlotPartitionCert& cert,
+                      const std::vector<int>& labels) {
+  for (const std::vector<NodeId>& block : cert.blocks) {
+    const int want = labels[static_cast<std::size_t>(block.front())];
+    for (std::size_t i = 1; i < block.size(); ++i) {
+      if (labels[static_cast<std::size_t>(block[i])] != want) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::pair<NodeId, int>>> instantiate_rotations(
+    const SlotPartitionCert& cert, int target_ii) {
+  std::vector<std::vector<std::pair<NodeId, int>>> out;
+  out.reserve(static_cast<std::size_t>(target_ii));
+  std::size_t num_nodes = 0;
+  for (const auto& block : cert.blocks) num_nodes += block.size();
+  for (int k = 0; k < target_ii; ++k) {
+    std::vector<std::pair<NodeId, int>> placements;
+    placements.reserve(num_nodes);
+    for (std::size_t b = 0; b < cert.blocks.size(); ++b) {
+      const int slot =
+          (cert.block_slots[b] + k) % target_ii;
+      for (const NodeId v : cert.blocks[b]) {
+        placements.emplace_back(v, slot);
+      }
+    }
+    out.push_back(std::move(placements));
+  }
+  return out;
+}
+
+bool CrossIiNogoodStore::add(int source_ii, const std::vector<NodeId>& nodes,
+                             const std::vector<int>& labels) {
+  if (nodes.empty()) return false;
+  // Group the conflict nodes by their slot, canonically: std::map orders
+  // blocks by slot, then re-sorting by first node makes the partition key
+  // independent of which slots happened to carry it.
+  std::map<int, std::vector<NodeId>> by_slot;
+  for (const NodeId v : nodes) {
+    by_slot[labels[static_cast<std::size_t>(v)]].push_back(v);
+  }
+  SlotPartitionCert cert;
+  cert.source_ii = source_ii;
+  cert.blocks.reserve(by_slot.size());
+  cert.block_slots.reserve(by_slot.size());
+  for (auto& [slot, block] : by_slot) {
+    std::sort(block.begin(), block.end());
+    cert.blocks.push_back(std::move(block));
+    cert.block_slots.push_back(slot);
+  }
+  std::vector<std::size_t> order(cert.blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cert.blocks[a].front() < cert.blocks[b].front();
+  });
+  SlotPartitionCert canon;
+  canon.source_ii = cert.source_ii;
+  canon.blocks.reserve(order.size());
+  canon.block_slots.reserve(order.size());
+  for (const std::size_t i : order) {
+    canon.blocks.push_back(std::move(cert.blocks[i]));
+    canon.block_slots.push_back(cert.block_slots[i]);
+  }
+
+  const std::lock_guard<std::mutex> lock(m_);
+  if (!seen_.insert(canon.blocks).second) return false;
+  certs_.push_back(std::move(canon));
+  return true;
+}
+
+void CrossIiNogoodStore::drain(std::size_t* cursor,
+                               std::vector<SlotPartitionCert>* out) const {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (std::size_t i = *cursor; i < certs_.size(); ++i) {
+    out->push_back(certs_[i]);
+  }
+  *cursor = certs_.size();
+}
+
+std::size_t CrossIiNogoodStore::size() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return certs_.size();
+}
+
+}  // namespace monomap

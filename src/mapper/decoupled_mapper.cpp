@@ -2,13 +2,29 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <thread>
+#include <utility>
 
+#include "sched/mii.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 namespace monomap {
+
+/// Cross-II state threaded through one speculative attempt's mapping loop:
+/// the shared store, this attempt's II, and the local certificate snapshot
+/// the schedule prefilter scans.
+struct DecoupledMapper::CrossIiContext {
+  CrossIiNogoodStore* store = nullptr;
+  int attempt_ii = 0;
+  std::size_t cursor = 0;                // drain position in the store
+  std::vector<SlotPartitionCert> certs;  // local snapshot for the prefilter
+};
 
 MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
   const Deadline deadline = options_.timeout_s > 0
@@ -29,7 +45,42 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
   }
   TimeSolver time_solver(dfg, arch, time_options);
   result.mii = time_solver.mii();
+  run_mapping_loop(dfg, arch, deadline, time_solver, nullptr, result);
+  result.time_stats = time_solver.stats();
+  result.total_s = result.time_phase_s + result.space_phase_s;
+  return result;
+}
 
+MapResult DecoupledMapper::map_at_ii(const Dfg& dfg, const CgraArch& arch,
+                                     int ii, const Deadline& deadline,
+                                     CrossIiNogoodStore* store) const {
+  MapResult result;
+  TimeSolverOptions time_options = options_.time;
+  if (options_.space.model == MrrgModel::kConsecutiveOnly) {
+    time_options.constraints.consecutive_slots = true;
+  }
+  // Pin the time search to exactly this II. (An ii below mII comes back
+  // refuted immediately: the solver clamps its start to mII, which then
+  // exceeds max_ii — correct, since no schedule exists there.)
+  time_options.min_ii = ii;
+  time_options.max_ii = ii;
+  TimeSolver time_solver(dfg, arch, time_options);
+  result.mii = time_solver.mii();
+  CrossIiContext ctx;
+  ctx.store = store;
+  ctx.attempt_ii = ii;
+  run_mapping_loop(dfg, arch, deadline, time_solver,
+                   store != nullptr ? &ctx : nullptr, result);
+  result.time_stats = time_solver.stats();
+  result.total_s = result.time_phase_s + result.space_phase_s;
+  return result;
+}
+
+void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
+                                       const Deadline& deadline,
+                                       TimeSolver& time_solver,
+                                       CrossIiContext* ctx,
+                                       MapResult& result) const {
   Stopwatch phase;
   const std::uint64_t base_budget = options_.space.max_backtracks;
   std::uint64_t budget = base_budget;
@@ -44,11 +95,32 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
   bool probed_at_current_ii = false;   // last-chance probe already granted
   int last_ii = -1;
   for (;;) {
+    if (ctx != nullptr) {
+      // Pull certificates the other racing IIs learned since the last
+      // look: instantiate their cyclic-rotation clauses into this II's
+      // solver (warm start — see CrossIiNogoodStore) and extend the local
+      // snapshot the prefilter below scans. Own-II certificates skip the
+      // clause step: add_space_nogood already lifted their rotations here.
+      std::vector<SlotPartitionCert> fresh;
+      ctx->store->drain(&ctx->cursor, &fresh);
+      for (SlotPartitionCert& cert : fresh) {
+        if (cert.source_ii != ctx->attempt_ii) {
+          for (auto& rotation :
+               instantiate_rotations(cert, ctx->attempt_ii)) {
+            if (time_solver.add_cross_ii_nogood(std::move(rotation))) {
+              ++result.nogoods_lifted_cross_ii;
+            }
+          }
+        }
+        ctx->certs.push_back(std::move(cert));
+      }
+    }
     phase.restart();
     const std::optional<TimeSolution> schedule = time_solver.next(deadline);
     result.time_phase_s += phase.elapsed_s();
     if (!schedule.has_value()) {
       result.timed_out = time_solver.timed_out();
+      result.cancelled = result.timed_out && deadline.cancel_fired();
       result.failure_reason = result.timed_out
                                   ? "time search hit the deadline"
                                   : "time search exhausted up to max II";
@@ -71,20 +143,46 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
       labels[static_cast<std::size_t>(v)] = schedule->label(v);
     }
     phase.restart();
-    SpaceOptions space_options = options_.space;
-    if (options_.adaptive_space_budget) {
-      space_options.max_backtracks = budget;
-    } else if (uninformative_at_current_ii +
-                       narrow_refutations_at_current_ii >
-                   0 &&
-               space_options.max_backtracks != 0) {
-      // Historical flat policy: the first schedule at an II gets the full
-      // search effort, retries a quarter.
-      space_options.max_backtracks =
-          std::max<std::uint64_t>(space_options.max_backtracks / 4, 4096);
+    // Cross-II certificate prefilter: a schedule realising (or coarsening)
+    // a stored refutation partition is spatially infeasible — synthesise
+    // the refutation another II already paid for instead of searching.
+    // The synthetic SpaceResult then flows through the exact policy path a
+    // real refutation takes (nogood feedback, narrow/wide classification,
+    // budget adaptation, retry caps).
+    bool prefilter_hit = false;
+    SpaceResult space;
+    if (ctx != nullptr) {
+      for (const SlotPartitionCert& cert : ctx->certs) {
+        if (cert_hits_labels(cert, labels)) {
+          prefilter_hit = true;
+          ++result.speculative_hits;
+          space.found = false;
+          space.failure_reason = "cross-II certificate prefilter";
+          space.shallowest_retreat = 0;
+          for (const auto& block : cert.blocks) {
+            space.conflict_nodes.insert(space.conflict_nodes.end(),
+                                        block.begin(), block.end());
+          }
+          break;
+        }
+      }
     }
-    const SpaceResult space = find_monomorphism(
-        dfg, arch, labels, schedule->ii, space_options, deadline);
+    if (!prefilter_hit) {
+      SpaceOptions space_options = options_.space;
+      if (options_.adaptive_space_budget) {
+        space_options.max_backtracks = budget;
+      } else if (uninformative_at_current_ii +
+                         narrow_refutations_at_current_ii >
+                     0 &&
+                 space_options.max_backtracks != 0) {
+        // Historical flat policy: the first schedule at an II gets the full
+        // search effort, retries a quarter.
+        space_options.max_backtracks =
+            std::max<std::uint64_t>(space_options.max_backtracks / 4, 4096);
+      }
+      space = find_monomorphism(dfg, arch, labels, schedule->ii,
+                                space_options, deadline);
+    }
     result.space_phase_s += phase.elapsed_s();
     result.space_backjumps += space.backjumps;
     result.last_space = space;
@@ -103,6 +201,7 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
     }
     if (space.deadline_expired) {
       result.timed_out = true;
+      result.cancelled = deadline.cancel_fired();
       result.failure_reason = "space search hit the deadline";
       break;
     }
@@ -116,6 +215,11 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
     // to spend on the next one from how this one died.
     if (!space.timed_out && !space.conflict_nodes.empty()) {
       time_solver.add_space_nogood(*schedule, space.conflict_nodes);
+      if (ctx != nullptr && !prefilter_hit) {
+        // Publish the refutation for the other racing IIs (the prefilter's
+        // own hits are already in the store — they came from it).
+        ctx->store->add(ctx->attempt_ii, space.conflict_nodes, labels);
+      }
     }
     const bool narrow_conflict =
         !space.timed_out &&
@@ -225,9 +329,6 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
       MONOMAP_DEBUG("escalating to II=" << time_solver.current_ii());
     }
   }
-  result.time_stats = time_solver.stats();
-  result.total_s = result.time_phase_s + result.space_phase_s;
-  return result;
 }
 
 std::vector<SpaceOptions> default_portfolio_configs(const SpaceOptions& base) {
@@ -309,6 +410,296 @@ MapResult DecoupledMapper::map_portfolio(const Dfg& dfg, const CgraArch& arch,
   return none;
 }
 
+namespace {
+
+/// Fold one resolved attempt's effort counters into an aggregate. Result
+/// fields that identify the outcome (success, ii, mapping, failure_reason,
+/// last_space, final_ii, learnt_retained) stay the receiver's.
+void merge_attempt_counters(MapResult& into, const MapResult& from) {
+  into.time_phase_s += from.time_phase_s;
+  into.space_phase_s += from.space_phase_s;
+  into.schedules_tried += from.schedules_tried;
+  into.space_truncated += from.space_truncated;
+  into.space_exhausted += from.space_exhausted;
+  into.space_backjumps += from.space_backjumps;
+  into.budget_extensions += from.budget_extensions;
+  into.budget_shrinks += from.budget_shrinks;
+  into.budget_probes += from.budget_probes;
+  into.speculative_hits += from.speculative_hits;
+  into.nogoods_lifted_cross_ii += from.nogoods_lifted_cross_ii;
+  TimeSolverStats& t = into.time_stats;
+  const TimeSolverStats& f = from.time_stats;
+  t.instances_built += f.instances_built;
+  t.sat_calls += f.sat_calls;
+  t.solutions_yielded += f.solutions_yielded;
+  t.sessions_created += f.sessions_created;
+  t.horizon_extensions += f.horizon_extensions;
+  t.assumptions_used += f.assumptions_used;
+  t.nogoods_added += f.nogoods_added;
+  t.narrow_nogoods += f.narrow_nogoods;
+  t.nogoods_lifted += f.nogoods_lifted;
+  t.nogoods_deduped += f.nogoods_deduped;
+  t.nogoods_lifted_cross_ii += f.nogoods_lifted_cross_ii;
+}
+
+/// One speculative cross-II race: per-II pinned attempts on a shared
+/// work-stealing pool, a frontier walking upward over refutations, and a
+/// commit rule that only accepts a feasible II once every smaller II is
+/// refuted (minimal-II optimality, agreement with sequential map()).
+///
+/// Completion-driven: no thread ever blocks waiting for an attempt. Each
+/// attempt's tail (still on the worker) resolves its state under the run
+/// mutex, advances the frontier, and launches whatever the window
+/// [frontier, frontier + lookahead] is missing. The pool's wait_idle() is
+/// therefore the natural barrier: when no tasks remain, every run has
+/// committed.
+class SpeculativeRun {
+ public:
+  struct Config {
+    int start_ii = 1;   // mII — where the frontier starts
+    int max_ii = 1;     // inclusive II ceiling (mirrors TimeSolver's rule)
+    int lookahead = 2;  // IIs kept in flight beyond the frontier
+    bool lift = false;  // cross-II certificate sharing (register persistence)
+  };
+
+  SpeculativeRun(const DecoupledMapper& mapper, const Dfg& dfg,
+                 const CgraArch& arch, const Deadline& base,
+                 const Config& config, WorkStealingPool& pool,
+                 MiiBreakdown mii)
+      : mapper_(mapper),
+        dfg_(dfg),
+        arch_(arch),
+        base_(base),
+        config_(config),
+        pool_(pool),
+        mii_(std::move(mii)),
+        frontier_(config.start_ii) {}
+
+  /// Launch the initial attempt window. Call once, before wait_idle().
+  void start() {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (frontier_ > config_.max_ii) {
+      // mII already beyond the configured cap — same verdict the
+      // sequential solver reaches without a single SAT call.
+      MapResult none;
+      none.failure_reason = "time search exhausted up to max II";
+      commit_locked(std::move(none));
+      return;
+    }
+    launch_locked();
+  }
+
+  /// The committed result. Valid only after the pool drained.
+  MapResult take() {
+    const std::lock_guard<std::mutex> lock(m_);
+    MONOMAP_ASSERT_MSG(done_, "speculative run not finished");
+    return std::move(final_);
+  }
+
+ private:
+  struct Attempt {
+    explicit Attempt(const CancelToken* parent) : token(parent) {}
+    enum class State { kRunning, kFeasible, kRefuted, kTimedOut };
+    CancelToken token;  // parented to the caller's token, if any
+    MapResult result;
+    State state = State::kRunning;
+    bool cancelled_by_us = false;
+  };
+
+  // Fill the window [frontier, min(frontier + lookahead, max_ii)] with
+  // running attempts; never above an already-feasible II. m_ held.
+  void launch_locked() {
+    if (done_) return;
+    int cap = std::min(frontier_ + config_.lookahead, config_.max_ii);
+    if (best_feasible_ >= 0) cap = std::min(cap, best_feasible_ - 1);
+    for (int ii = frontier_; ii <= cap; ++ii) {
+      if (attempts_.count(ii) != 0) continue;
+      auto attempt = std::make_unique<Attempt>(base_.cancel_token());
+      Attempt* a = attempt.get();
+      attempts_.emplace(ii, std::move(attempt));
+      pool_.submit([this, ii, a] { run_attempt(ii, a); });
+    }
+  }
+
+  void run_attempt(int ii, Attempt* a) {
+    MapResult r;
+    if (a->token.cancelled()) {
+      // Cancelled while still queued (a smaller II already won, or the
+      // caller pulled the plug) — don't even build the solver.
+      r.timed_out = true;
+      r.cancelled = true;
+      r.failure_reason = "cancelled before start";
+    } else {
+      // The attempt shares the run's wall budget (remaining as of launch —
+      // both deadlines tick from the same start) and carries its own
+      // cancel token so a smaller feasible II can cut it individually.
+      const Deadline deadline(base_.remaining_s(), &a->token);
+      r = mapper_.map_at_ii(dfg_, arch_, ii, deadline,
+                            config_.lift ? &store_ : nullptr);
+    }
+
+    const std::lock_guard<std::mutex> lock(m_);
+    a->result = std::move(r);
+    a->state = a->result.success     ? Attempt::State::kFeasible
+               : a->result.timed_out ? Attempt::State::kTimedOut
+                                     : Attempt::State::kRefuted;
+    if (a->state == Attempt::State::kFeasible &&
+        (best_feasible_ < 0 || ii < best_feasible_)) {
+      best_feasible_ = ii;
+      // Larger IIs can no longer win — cancel them; smaller ones keep
+      // running, the commit rule still needs their refutations.
+      for (auto& [other_ii, other] : attempts_) {
+        if (other_ii > ii && other->state == Attempt::State::kRunning) {
+          other->cancelled_by_us = true;
+          other->token.cancel();
+        }
+      }
+    }
+    advance_locked();
+  }
+
+  // Walk the frontier over resolved attempts, commit when its verdict is
+  // final, then refill the launch window. m_ held.
+  void advance_locked() {
+    while (!done_) {
+      const auto it = attempts_.find(frontier_);
+      if (it == attempts_.end() ||
+          it->second->state == Attempt::State::kRunning) {
+        break;
+      }
+      Attempt& a = *it->second;
+      if (a.state == Attempt::State::kFeasible) {
+        // Every II below the frontier was refuted — this is THE minimal
+        // feasible II, same answer the sequential walk reaches.
+        MapResult final_result = std::move(a.result);
+        merge_attempt_counters(final_result, aggregate_);
+        commit_locked(std::move(final_result));
+        return;
+      }
+      if (a.state == Attempt::State::kTimedOut) {
+        // The frontier is never cancelled by us (only IIs above a feasible
+        // one are), so this is the shared wall budget or the caller's
+        // token. Optimality below a held feasible II is unprovable now —
+        // report the timeout rather than a possibly non-minimal mapping.
+        MapResult final_result = std::move(a.result);
+        merge_attempt_counters(final_result, aggregate_);
+        if (best_feasible_ >= 0) {
+          std::ostringstream note;
+          note << final_result.failure_reason << " (II=" << frontier_
+               << " unresolved; a feasible mapping at II=" << best_feasible_
+               << " was held back by the determinism rule)";
+          final_result.failure_reason = note.str();
+        }
+        commit_locked(std::move(final_result));
+        return;
+      }
+      // Refuted. The topmost II carries the exhaustion verdict itself.
+      if (it->first >= config_.max_ii) {
+        MapResult final_result = std::move(a.result);
+        merge_attempt_counters(final_result, aggregate_);
+        commit_locked(std::move(final_result));
+        return;
+      }
+      merge_attempt_counters(aggregate_, a.result);
+      ++frontier_;
+    }
+    launch_locked();
+  }
+
+  void commit_locked(MapResult final_result) {
+    final_result.mii = mii_;
+    final_result.total_s =
+        final_result.time_phase_s + final_result.space_phase_s;
+    for (auto& [ii, attempt] : attempts_) {
+      if (attempt->state == Attempt::State::kRunning) {
+        attempt->cancelled_by_us = true;
+        attempt->token.cancel();
+      }
+    }
+    final_ = std::move(final_result);
+    done_ = true;
+  }
+
+  const DecoupledMapper& mapper_;
+  const Dfg& dfg_;
+  const CgraArch& arch_;
+  const Deadline& base_;
+  const Config config_;
+  WorkStealingPool& pool_;
+  const MiiBreakdown mii_;
+  CrossIiNogoodStore store_;
+
+  std::mutex m_;
+  std::map<int, std::unique_ptr<Attempt>> attempts_;
+  int frontier_;            // lowest unresolved II
+  int best_feasible_ = -1;  // smallest II with a held feasible mapping
+  // Effort counters of the refuted IIs the frontier walked over, merged in
+  // ascending II order (cancelled speculative losers above the final II
+  // are deliberately excluded — they are wall-clock, not work the answer
+  // needed).
+  MapResult aggregate_;
+  MapResult final_;
+  bool done_ = false;
+};
+
+SpeculativeRun::Config speculative_config(const DecoupledMapperOptions& options,
+                                          const Dfg& dfg, int lookahead,
+                                          bool share_nogoods,
+                                          const MiiBreakdown& mii) {
+  SpeculativeRun::Config config;
+  config.start_ii = mii.mii();
+  // Same auto ceiling as TimeSolver: at II = #nodes a fully sequential
+  // schedule always satisfies capacity and connectivity.
+  config.max_ii = options.time.max_ii > 0
+                      ? options.time.max_ii
+                      : std::max(mii.mii(), std::max(1, dfg.num_nodes()));
+  config.lookahead = std::max(lookahead, 0);
+  config.lift = share_nogoods &&
+                options.space.model == MrrgModel::kRegisterPersistence;
+  return config;
+}
+
+// The II attempts are CPU-bound SAT/search work: workers beyond the
+// machine's cores only timeslice against each other, turning speculation
+// from free use of spare cores into a tax on the frontier attempt. Treat
+// the requested thread count as a ceiling; on a small machine the race
+// degenerates gracefully toward the sequential walk (queued attempts run
+// frontier-first and a win cancels them before they start).
+int clamp_pool_threads(int requested) {
+  const int cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (requested <= 0) return cores;
+  return std::min(requested, cores);
+}
+
+}  // namespace
+
+MapResult DecoupledMapper::map_speculative(const Dfg& dfg,
+                                           const CgraArch& arch,
+                                           const SpeculativeOptions& spec) const {
+  const Deadline deadline = options_.timeout_s > 0
+                                ? Deadline(options_.timeout_s)
+                                : Deadline::unlimited();
+  return map_speculative(dfg, arch, deadline, spec);
+}
+
+MapResult DecoupledMapper::map_speculative(const Dfg& dfg,
+                                           const CgraArch& arch,
+                                           const Deadline& deadline,
+                                           const SpeculativeOptions& spec) const {
+  WorkStealingPool pool(clamp_pool_threads(spec.num_threads));
+  MiiBreakdown mii = compute_mii(dfg, arch);
+  const SpeculativeRun::Config config = speculative_config(
+      options_, dfg, spec.lookahead, spec.share_nogoods, mii);
+  SpeculativeRun run(*this, dfg, arch, deadline, config, pool,
+                     std::move(mii));
+  run.start();
+  pool.wait_idle();
+  MapResult result = run.take();
+  result.steals = pool.steals();
+  return result;
+}
+
 std::vector<MapResult> DecoupledMapper::map_batch(
     const std::vector<const Dfg*>& dfgs, const CgraArch& arch,
     int num_threads) const {
@@ -322,13 +713,41 @@ std::vector<MapResult> DecoupledMapper::map_batch(
 
 std::vector<MapResult> DecoupledMapper::map_batch(
     const std::vector<const Dfg*>& dfgs, const CgraArch& arch,
-    const Deadline& deadline, int num_threads) const {
+    const Deadline& deadline, int num_threads, BatchStats* stats) const {
   std::vector<MapResult> results(dfgs.size());
-  parallel_for_indices(
-      static_cast<int>(dfgs.size()), num_threads, [&](int i) {
-        results[static_cast<std::size_t>(i)] =
-            map(*dfgs[static_cast<std::size_t>(i)], arch, deadline);
-      });
+  if (stats != nullptr) *stats = BatchStats{};
+  if (dfgs.empty()) return results;
+  if (num_threads == 1) {
+    // Sequential reference path: every case runs the plain map() in order.
+    for (std::size_t i = 0; i < dfgs.size(); ++i) {
+      results[i] = map(*dfgs[i], arch, deadline);
+    }
+    return results;
+  }
+  // Pooled path: every case becomes a speculative run with lookahead 1 —
+  // its per-II attempts are the pool's tasks. A hard case decomposes into
+  // subtasks the other workers steal, instead of pinning one thread for
+  // the whole batch (the pre-pool behaviour: static case-per-thread via
+  // parallel_for_indices, where one pathological case idled its siblings).
+  // No certificate sharing: batch results stay bit-exactly what the
+  // per-case sequential map() would return (see SpeculativeOptions::
+  // share_nogoods for why warm starts can move the committed II).
+  WorkStealingPool pool(clamp_pool_threads(num_threads));
+  std::vector<std::unique_ptr<SpeculativeRun>> runs;
+  runs.reserve(dfgs.size());
+  for (const Dfg* dfg : dfgs) {
+    MiiBreakdown mii = compute_mii(*dfg, arch);
+    const SpeculativeRun::Config config = speculative_config(
+        options_, *dfg, /*lookahead=*/1, /*share_nogoods=*/false, mii);
+    runs.push_back(std::make_unique<SpeculativeRun>(
+        *this, *dfg, arch, deadline, config, pool, std::move(mii)));
+  }
+  for (auto& run : runs) run->start();
+  pool.wait_idle();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    results[i] = runs[i]->take();
+  }
+  if (stats != nullptr) stats->steals = pool.steals();
   return results;
 }
 

@@ -12,8 +12,10 @@
 #ifndef MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
 #define MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
 
+#include <cstdint>
 #include <string>
 
+#include "mapper/cross_ii_store.hpp"
 #include "mapper/mapping.hpp"
 #include "space/monomorphism.hpp"
 #include "timing/time_solver.hpp"
@@ -97,9 +99,52 @@ struct PortfolioOptions {
 /// seeded from `base` (engine/model/budget are inherited from it).
 std::vector<SpaceOptions> default_portfolio_configs(const SpaceOptions& base);
 
+/// Speculative cross-II race configuration (map_speculative).
+struct SpeculativeOptions {
+  /// Worker threads for the II race (<= 0 = hardware concurrency). Always
+  /// clamped to the machine's core count: extra workers would only
+  /// timeslice against the frontier attempt. On a small machine the race
+  /// degenerates gracefully toward the sequential walk.
+  int num_threads = 4;
+  /// How many IIs beyond the unresolved frontier to keep in flight: with
+  /// lookahead 2, while II is still being refuted II+1 and II+2 already
+  /// run on spare threads. 0 degenerates to one II at a time (still a
+  /// pinned-II replay of the sequential walk, just on a worker thread).
+  int lookahead = 2;
+  /// Share slot-partition certificates across the racing IIs (see
+  /// CrossIiNogoodStore) so speculative IIs start warm. The certificates
+  /// are sound — they prune only schedules whose slot partition some II
+  /// already proved spatially dead, so a feasible II can never be missed
+  /// and the committed mapping always validates — but the injected
+  /// clauses change the SAT enumeration order, which moves the per-II
+  /// retry policy's heuristic give-up points: on borderline cases the
+  /// warm walk can settle one II away from the sequential walk (either
+  /// direction), and which certificates arrive in time depends on thread
+  /// timing. Default OFF, which makes every attempt a pure function of
+  /// its II and the final answer bit-exactly equal to sequential map().
+  /// Turn on for throughput work where "a valid minimal-II-of-its-walk
+  /// mapping, faster" beats "the exact sequential answer". Certificate
+  /// sharing is additionally gated off for MrrgModel::kConsecutiveOnly,
+  /// where cyclic label distances change with II and the partition
+  /// argument does not carry.
+  bool share_nogoods = false;
+};
+
+/// Aggregate telemetry for one map_batch call (the per-case MapResults
+/// cannot carry pool-level counters without double counting).
+struct BatchStats {
+  std::uint64_t steals = 0;  // tasks taken from another worker's deque
+};
+
 struct MapResult {
   bool success = false;
   bool timed_out = false;
+  /// The deadline's CancelToken fired (subset of timed_out): the run was
+  /// cut short by a caller — a portfolio/speculative first-win or an
+  /// explicit batch cancel — not by the wall clock. Batch telemetry uses
+  /// this to tell a cancelled case from one that genuinely ran out of
+  /// budget.
+  bool cancelled = false;
   Mapping mapping;
   int ii = 0;
   MiiBreakdown mii;
@@ -118,6 +163,16 @@ struct MapResult {
   int budget_extensions = 0;
   int budget_shrinks = 0;
   int budget_probes = 0;  // last-chance full-budget searches granted
+  /// Speculative runs: schedules discarded by the cross-II certificate
+  /// prefilter without running a space search (each one is a space search
+  /// another II already paid for).
+  int speculative_hits = 0;
+  /// Speculative runs: label-nogood clauses instantiated from other IIs'
+  /// slot-partition certificates (warm-start volume).
+  int nogoods_lifted_cross_ii = 0;
+  /// Work-stealing pool steals observed by this call (map_speculative
+  /// only; map_batch reports pool-level steals via BatchStats).
+  std::uint64_t steals = 0;
   std::string failure_reason;
   TimeSolverStats time_stats;
   SpaceResult last_space;
@@ -140,6 +195,37 @@ class DecoupledMapper {
   MapResult map(const Dfg& dfg, const CgraArch& arch,
                 const Deadline& deadline) const;
 
+  /// Run the space/time loop pinned to exactly `ii` — no escalation. The
+  /// per-II policy (nogood feedback, adaptive budgets, last-chance probe)
+  /// is the exact code map() runs at one II, so "!success && !timed_out"
+  /// here means precisely "sequential map() would have escalated past ii".
+  /// When `store` is non-null (speculative runs, register-persistence
+  /// model only) the attempt drains the store into its time solver as
+  /// warm-start clauses + a schedule prefilter, and contributes its own
+  /// refutation certificates back.
+  MapResult map_at_ii(const Dfg& dfg, const CgraArch& arch, int ii,
+                      const Deadline& deadline,
+                      CrossIiNogoodStore* store = nullptr) const;
+
+  /// Speculative cross-II race: while the lowest unresolved II is still in
+  /// its space/time loop, II+1..II+lookahead already run on spare threads.
+  /// Deterministic commit rule: a feasible II is returned only once every
+  /// strictly smaller II has been refuted, so minimal-II optimality is
+  /// preserved. With the default options each attempt is a pure function
+  /// of its II (no cross-attempt information flow), so the committed II
+  /// bit-exactly equals the sequential map() answer on every input —
+  /// speculation buys wall clock, not a different answer. With
+  /// spec.share_nogoods the attempts additionally exchange slot-partition
+  /// certificates through a CrossIiNogoodStore (see that option's caveat).
+  MapResult map_speculative(const Dfg& dfg, const CgraArch& arch,
+                            const SpeculativeOptions& spec = {}) const;
+
+  /// Like the above under an external deadline (which may carry a
+  /// CancelToken). options_.timeout_s is ignored.
+  MapResult map_speculative(const Dfg& dfg, const CgraArch& arch,
+                            const Deadline& deadline,
+                            const SpeculativeOptions& spec = {}) const;
+
   /// Race several space configurations for the same DFG across threads;
   /// the first valid mapping wins and cancels the rest (atomic first-win
   /// token observed through each racer's Deadline). With
@@ -158,12 +244,29 @@ class DecoupledMapper {
   /// Like the above, but every item observes the externally supplied
   /// shared `deadline` — including its CancelToken, so a caller can cut an
   /// entire in-flight batch short. options_.timeout_s is ignored.
+  ///
+  /// With num_threads != 1 the batch runs on a work-stealing pool and each
+  /// case is split into per-II subtasks (a lookahead-1 speculative race),
+  /// so one pathological case no longer idles the other cores; with
+  /// num_threads == 1 every case runs the plain sequential map() in order.
+  /// `stats`, when non-null, receives pool-level telemetry.
   std::vector<MapResult> map_batch(const std::vector<const Dfg*>& dfgs,
                                    const CgraArch& arch,
                                    const Deadline& deadline,
-                                   int num_threads = 0) const;
+                                   int num_threads = 0,
+                                   BatchStats* stats = nullptr) const;
 
  private:
+  struct CrossIiContext;  // speculative-attempt state threaded into the loop
+
+  /// The per-schedule space/time loop shared by map() and map_at_ii():
+  /// pull schedules, run (or prefilter) the space search, feed conflicts
+  /// back, adapt budgets, escalate II when the policy says so. `ctx` is
+  /// null on sequential runs.
+  void run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
+                        const Deadline& deadline, TimeSolver& time_solver,
+                        CrossIiContext* ctx, MapResult& result) const;
+
   DecoupledMapperOptions options_;
 };
 

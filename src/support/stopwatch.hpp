@@ -30,17 +30,27 @@ class Stopwatch {
 /// Cooperative cancellation flag shared between solver threads. The
 /// portfolio mapper hands one token to every racing configuration; the
 /// first winner cancels the rest, which observe it through their Deadline
-/// at the next periodic expiry check.
+/// at the next periodic expiry check. A token may be chained to a parent:
+/// the speculative mapper gives every II attempt its own token parented to
+/// the caller's, so one attempt can be cancelled individually (a smaller II
+/// won) while a caller-level cancel still reaches every attempt.
 class CancelToken {
  public:
+  CancelToken() = default;
+  /// A token that also reports cancelled() when `parent` does. The parent
+  /// must outlive this token; pass nullptr for a root token.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   [[nodiscard]] bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
   }
   void reset() { cancelled_.store(false, std::memory_order_relaxed); }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
 };
 
 /// A wall-clock budget shared by the phases of a solve. An infinite budget
@@ -67,6 +77,18 @@ class Deadline {
   [[nodiscard]] bool expired() const {
     if (cancel_ != nullptr && cancel_->cancelled()) return true;
     return watch_.elapsed_s() >= limit_s_;
+  }
+
+  /// The wall-clock component alone (ignores the cancel token). Lets a
+  /// caller that observed expired() report *why*: a fired token with the
+  /// wall clock still inside the budget is a cancellation, not a timeout.
+  [[nodiscard]] bool wall_expired() const {
+    return watch_.elapsed_s() >= limit_s_;
+  }
+
+  /// True when the attached cancel token (if any) has fired.
+  [[nodiscard]] bool cancel_fired() const {
+    return cancel_ != nullptr && cancel_->cancelled();
   }
 
   [[nodiscard]] const CancelToken* cancel_token() const { return cancel_; }

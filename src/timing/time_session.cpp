@@ -294,6 +294,10 @@ bool TimeSession::extend_horizon() {
 
 SatStatus TimeSession::solve(const Deadline& deadline) {
   if (!ok_) return SatStatus::kUnsat;
+  // Early-out before touching the solver: a cancelled speculative attempt
+  // (its Deadline's token fired) should stop at the next call boundary
+  // instead of paying for a solver round first.
+  if (deadline.expired()) return SatStatus::kUnknown;
   return solver_.solve_assuming({Lit::pos(selectors_.back())}, deadline);
 }
 

@@ -24,7 +24,7 @@ TimeSolver::TimeSolver(const Dfg& dfg, const CgraArch& arch,
       max_ii_(options.max_ii > 0
                   ? options.max_ii
                   : std::max(mii_.mii(), std::max(1, dfg.num_nodes()))),
-      ii_(mii_.mii()) {
+      ii_(std::max(mii_.mii(), options.min_ii)) {
   MONOMAP_ASSERT(dfg.num_nodes() > 0);
   extension_ = -1;  // advance_instance() pre-increments (reference path)
 }
@@ -52,6 +52,11 @@ bool TimeSolver::advance_instance() {
         extension_ = 0;
         ++stats_.sessions_created;
         ++stats_.instances_built;
+        // Arm cross-II nogoods that were injected before the session
+        // existed (empty outside speculative runs).
+        for (const auto& nogood : ii_nogoods_) {
+          session_->add_label_nogood(nogood);
+        }
       } else {
         if (extension_ >= options_.max_horizon_extension) {
           enter_next_ii();
@@ -166,6 +171,33 @@ bool TimeSolver::add_space_nogood(const TimeSolution& solution,
     }
     if (covers) last_blocked_by_nogood_ = true;
   }
+  return true;
+}
+
+bool TimeSolver::add_cross_ii_nogood(
+    std::vector<std::pair<NodeId, int>> placements) {
+  if (placements.empty()) return false;
+  for (const auto& [v, slot] : placements) {
+    MONOMAP_ASSERT(v >= 0 && v < dfg_.num_nodes());
+    MONOMAP_ASSERT(slot >= 0 && slot < ii_);
+  }
+  // Canonical node order so identical instantiations from different
+  // certificates (or repeated drains) dedupe against each other.
+  std::sort(placements.begin(), placements.end());
+  if (!seen_nogoods_.insert(placements).second) return false;
+  ++stats_.nogoods_lifted_cross_ii;
+  if (options_.engine == TimeEngine::kIncremental) {
+    if (session_) session_->add_label_nogood(placements);
+    // Queue for replay in case the II's session is created later (or not
+    // yet); enter_next_ii clears the queue with the II it belongs to.
+    ii_nogoods_.push_back(std::move(placements));
+    return true;
+  }
+  if (formulation_ && instance_ok_ &&
+      !formulation_->add_label_nogood(placements)) {
+    instance_ok_ = false;  // every schedule left here is pruned
+  }
+  ii_nogoods_.push_back(std::move(placements));
   return true;
 }
 

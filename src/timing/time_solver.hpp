@@ -51,6 +51,10 @@ struct TimeSolverOptions {
   /// Highest II to try; 0 = automatic (max(mII, #nodes) — at II = #nodes a
   /// fully sequential schedule always satisfies capacity and connectivity).
   int max_ii = 0;
+  /// Lowest II to try; the search starts at max(mII, min_ii). Setting
+  /// min_ii == max_ii pins the solver to exactly one II — the speculative
+  /// mapper runs one such pinned solver per racing II.
+  int min_ii = 0;
   /// Extra schedule steps to try beyond the critical path at each II before
   /// giving the II up. Adds KMS folds, exactly like the paper's iterative
   /// MobS folding.
@@ -73,6 +77,7 @@ struct TimeSolverStats {
   int narrow_nogoods = 0;        // nogoods over a strict subset of nodes
   int nogoods_lifted = 0;        // extra rotation clauses derived from them
   int nogoods_deduped = 0;       // conflicts already covered by a recorded one
+  int nogoods_lifted_cross_ii = 0;  // clauses instantiated from other IIs
   TimeFormulationStats last_formulation;
 };
 
@@ -113,6 +118,15 @@ class TimeSolver {
   bool add_space_nogood(const TimeSolution& solution,
                         const std::vector<NodeId>& nodes);
 
+  /// Inject a placement nogood instantiated from *another* II's refutation
+  /// certificate (see CrossIiNogoodStore): the given (node, slot) pairs —
+  /// slots already reduced mod the current II — are jointly spatially
+  /// infeasible here too. Unlike add_space_nogood no further rotation
+  /// lifting happens (the caller instantiates every rotation itself).
+  /// Safe to call before the first next(): the clause is queued and armed
+  /// when the II's solver comes up. Returns true when the nogood was new.
+  bool add_cross_ii_nogood(std::vector<std::pair<NodeId, int>> placements);
+
   [[nodiscard]] int current_ii() const { return ii_; }
   [[nodiscard]] bool timed_out() const { return timed_out_; }
   [[nodiscard]] const MiiBreakdown& mii() const { return mii_; }
@@ -131,7 +145,8 @@ class TimeSolver {
   int extension_ = 0;
   // kReference engine state: one formulation per (ii, extension), plus the
   // nogoods recorded at this II (rotations included) for re-application
-  // after each rebuild.
+  // after each rebuild. The incremental engine also queues cross-II
+  // nogoods here when they arrive before the II's session exists.
   std::unique_ptr<TimeFormulation> formulation_;
   std::vector<std::vector<std::pair<NodeId, int>>> ii_nogoods_;
   // Conflicts recorded at this II, every rotation of each — the dedupe set.

@@ -182,12 +182,15 @@ TEST(DecoupledMapper, MapBatchHonoursSharedDeadline) {
   const DecoupledMapper mapper(fast_options());
   // An already-expired shared deadline must cut every item short — no item
   // may fall back to its own private options_.timeout_s budget.
+  BatchStats stats;
   const std::vector<MapResult> results =
-      mapper.map_batch(dfgs, arch, Deadline(0.0), 2);
+      mapper.map_batch(dfgs, arch, Deadline(0.0), 2, &stats);
   ASSERT_EQ(results.size(), dfgs.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_FALSE(results[i].success) << i;
     EXPECT_TRUE(results[i].timed_out) << i;
+    // The wall clock ran out; nobody fired a cancel token.
+    EXPECT_FALSE(results[i].cancelled) << i;
   }
 }
 
@@ -205,6 +208,28 @@ TEST(DecoupledMapper, MapBatchObservesCancelToken) {
   for (const MapResult& r : results) {
     EXPECT_FALSE(r.success);
     EXPECT_TRUE(r.timed_out);
+    // Cut short by the token, not the wall clock: reported distinctly.
+    EXPECT_TRUE(r.cancelled);
+  }
+}
+
+TEST(DecoupledMapper, MapBatchPooledPathReportsCancelDistinctly) {
+  std::vector<const Dfg*> dfgs;
+  for (const char* name : {"gsm", "fft", "hotspot3D"}) {
+    dfgs.push_back(&benchmark_by_name(name).dfg);
+  }
+  const CgraArch arch = CgraArch::square(4);
+  CancelToken cancel;
+  cancel.cancel();
+  const Deadline deadline(1e9, &cancel);
+  BatchStats stats;
+  const std::vector<MapResult> results = DecoupledMapper(fast_options())
+      .map_batch(dfgs, arch, deadline, 2, &stats);
+  ASSERT_EQ(results.size(), dfgs.size());
+  for (const MapResult& r : results) {
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_TRUE(r.cancelled);
   }
 }
 

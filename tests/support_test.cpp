@@ -1,12 +1,15 @@
 // Tests for the support utilities: assertions, RNG, stopwatch/deadline,
 // tables and CSV.
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/pe_set.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
@@ -331,6 +334,79 @@ TEST(Deadline, CancelTokenForcesExpiry) {
   const Deadline plain(1e6);
   token.cancel();
   EXPECT_FALSE(plain.expired());
+}
+
+TEST(Deadline, CancelTokenChainsToParent) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  const Deadline d(1e6, &child);
+  EXPECT_FALSE(d.expired());
+  // Firing the parent is observed through the child (the speculative
+  // mapper cancels a whole race via the caller's token this way)...
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(d.cancel_fired());
+  EXPECT_DOUBLE_EQ(d.remaining_s(), 0.0);
+  parent.reset();
+  EXPECT_FALSE(child.cancelled());
+  // ...while firing the child leaves the parent (and its other children)
+  // untouched.
+  child.cancel();
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(WorkStealingPool, RunsEveryTaskIncludingNested) {
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&pool, &done] {
+      // Tasks submitted from inside a worker must be awaited too.
+      pool.submit([&done] { done.fetch_add(1); });
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+  // The pool is reusable after an idle barrier.
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 65);
+}
+
+TEST(WorkStealingPool, StealsWhenOneQueueIsLoaded) {
+  // All tasks are submitted from the outside and dealt round-robin, but
+  // each task body blocks until every worker has picked something up —
+  // with more tasks than workers the laggards' tasks must be stolen.
+  // (On a single-core machine the pool still has 4 workers; they
+  // timeslice.)
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+  // steals() is telemetry, not a guarantee — just check it is readable
+  // and sane (cannot exceed the task count).
+  EXPECT_LE(pool.steals(), 64u);
+}
+
+TEST(WorkStealingPool, RethrowsFirstTaskExceptionFromWaitIdle) {
+  WorkStealingPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The failure did not take down the other tasks.
+  EXPECT_EQ(survivors.load(), 8);
+  // A later barrier with no new failure passes.
+  pool.submit([&survivors] { survivors.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 9);
 }
 
 TEST(Log, ParseLevels) {

@@ -5,7 +5,7 @@
 //   monomap show <bench|file.dfg>
 //       Print DFG stats, ASAP/ALAP/MobS table and DOT.
 //   monomap map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]
-//               [--timeout S] [--mapper decoupled|coupled|anneal]
+//               [--timeout S] [--mapper decoupled|speculative|coupled|anneal]
 //               [--restricted] [--out mapping.txt]
 //       Compile a DFG and print (or save) the mapping.
 //   monomap check <bench|file.dfg> <mapping.txt> [--grid N] [...]
@@ -38,7 +38,9 @@ struct CliOptions {
   std::string mapper = "decoupled";
   TimeEngine time_engine = TimeEngine::kIncremental;
   bool restricted = false;
-  int threads = 0;  // portfolio mapper: 0 = auto
+  int threads = 0;   // portfolio/speculative mappers: 0 = auto
+  int lookahead = 2;  // speculative mapper: IIs raced beyond the frontier
+  bool share_nogoods = false;  // speculative: cross-II cert warm start
   std::uint64_t space_budget = 0;    // valid only when space_budget_set
   bool space_budget_set = false;     // --space-budget given (0 = unlimited)
   std::uint64_t shrink_divisor = 0;  // 0 = keep the mapper default
@@ -54,8 +56,10 @@ struct CliOptions {
       "  list\n"
       "  show <bench|file.dfg>\n"
       "  map <bench|file.dfg> [--grid N] [--topology mesh|torus|diagonal]\n"
-      "      [--timeout S] [--mapper decoupled|portfolio|coupled|anneal]\n"
+      "      [--timeout S]\n"
+      "      [--mapper decoupled|speculative|portfolio|coupled|anneal]\n"
       "      [--time-engine incremental|reference] [--threads N]\n"
+      "      [--lookahead N] [--share-nogoods]\n"
       "      [--space-budget N] [--shrink-divisor N] [--no-adaptive-budget]\n"
       "      [--no-distance2] [--no-backjump] [--restricted] [--out FILE]\n"
       "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
@@ -114,6 +118,10 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       else usage();
     } else if (arg == "--threads") {
       opt.threads = std::atoi(value().c_str());
+    } else if (arg == "--lookahead") {
+      opt.lookahead = std::atoi(value().c_str());
+    } else if (arg == "--share-nogoods") {
+      opt.share_nogoods = true;
     } else if (arg == "--space-budget") {
       opt.space_budget = parse_u64(value(), "--space-budget");
       opt.space_budget_set = true;
@@ -176,7 +184,8 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   std::optional<Mapping> mapping;
   int ii = 0;
   double seconds = 0.0;
-  if (opt.mapper == "decoupled" || opt.mapper == "portfolio") {
+  if (opt.mapper == "decoupled" || opt.mapper == "portfolio" ||
+      opt.mapper == "speculative") {
     DecoupledMapperOptions mopt;
     mopt.timeout_s = opt.timeout_s;
     mopt.time.engine = opt.time_engine;
@@ -202,6 +211,15 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
         std::cout << "portfolio winner: config #" << r.portfolio_config
                   << '\n';
       }
+    } else if (opt.mapper == "speculative") {
+      SpeculativeOptions sopt;
+      sopt.num_threads = opt.threads;
+      sopt.lookahead = opt.lookahead;
+      sopt.share_nogoods = opt.share_nogoods;
+      r = mapper.map_speculative(dfg, arch, sopt);
+      std::cout << "speculative: " << r.speculative_hits
+                << " prefilter hits, " << r.nogoods_lifted_cross_ii
+                << " cross-II nogoods lifted, " << r.steals << " steals\n";
     } else {
       r = mapper.map(dfg, arch);
     }
