@@ -159,6 +159,7 @@ void emit_space_row(JsonWriter& json, const std::string& suite, int grid,
   json.field("ii", ii);
   json.field("found", last.found);
   json.field("truncated", last.truncated);
+  json.field("memory_out", last.memory_out);
   json.field("seconds", med);
   json.field("nodes_expanded", last.nodes_expanded);
   json.field("backtracks", last.backtracks);

@@ -125,6 +125,9 @@ void run_json_mode(int grid, int repeats) {
       json.field("suite", b.name);
       json.field("engine", to_string(engine));
       json.field("success", last.success);
+      json.field("outcome", to_string(last.outcome));
+      json.field("degraded", last.degraded);
+      json.field("fault_retries", last.fault_retries);
       json.field("ii", last.success ? last.ii : -1);
       json.field("seconds", med);
       json.field("time_phase_s", last.time_phase_s);
@@ -187,6 +190,9 @@ void run_json_mode(int grid, int repeats) {
         json.field("grid", side);
         json.field("engine", to_string(engine));
         json.field("success", last.success);
+        json.field("outcome", to_string(last.outcome));
+        json.field("degraded", last.degraded);
+        json.field("fault_retries", last.fault_retries);
         json.field("ii", last.success ? last.ii : -1);
         json.field("seconds", median(seconds));
         json.field("schedules_tried", last.schedules_tried);
@@ -217,6 +223,9 @@ void run_json_mode(int grid, int repeats) {
         json.field("grid", side);
         json.field("engine", warm ? "speculative-warm" : "speculative");
         json.field("success", last.success);
+        json.field("outcome", to_string(last.outcome));
+        json.field("degraded", last.degraded);
+        json.field("fault_retries", last.fault_retries);
         json.field("ii", last.success ? last.ii : -1);
         json.field("seconds", median(seconds));
         json.field("schedules_tried", last.schedules_tried);

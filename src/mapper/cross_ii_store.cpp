@@ -72,22 +72,70 @@ bool CrossIiNogoodStore::add(int source_ii, const std::vector<NodeId>& nodes,
 
   const std::lock_guard<std::mutex> lock(m_);
   if (!seen_.insert(canon.blocks).second) return false;
+  if (gov_ != nullptr) {
+    // Charge the certificate; under pressure evict oldest-first — stale
+    // source-II knowledge goes before fresh — and only drop the new
+    // certificate when the store is empty and the budget still refuses.
+    const std::size_t bytes = cert_bytes(canon);
+    while (!gov_->try_charge(bytes)) {
+      if (certs_.empty()) return false;
+      gov_->note_shed();
+      evict_front_locked();
+    }
+    gov_charged_ += bytes;
+  }
   certs_.push_back(std::move(canon));
   return true;
+}
+
+CrossIiNogoodStore::~CrossIiNogoodStore() {
+  if (gov_ != nullptr) gov_->uncharge(gov_charged_);
+}
+
+void CrossIiNogoodStore::set_governor(ResourceGovernor* governor) {
+  const std::lock_guard<std::mutex> lock(m_);
+  gov_ = governor;
+}
+
+std::size_t CrossIiNogoodStore::cert_bytes(const SlotPartitionCert& cert) {
+  std::size_t bytes = sizeof(SlotPartitionCert) + 64;
+  for (const auto& block : cert.blocks) {
+    bytes += sizeof(std::vector<NodeId>) + block.size() * sizeof(NodeId);
+  }
+  bytes += cert.block_slots.size() * sizeof(int);
+  return bytes;
+}
+
+void CrossIiNogoodStore::evict_front_locked() {
+  const std::size_t bytes = cert_bytes(certs_.front());
+  const std::size_t refund = std::min(bytes, gov_charged_);
+  gov_->uncharge(refund);
+  gov_charged_ -= refund;
+  certs_.pop_front();
+  ++base_;
+  ++evicted_;
 }
 
 void CrossIiNogoodStore::drain(std::size_t* cursor,
                                std::vector<SlotPartitionCert>* out) const {
   const std::lock_guard<std::mutex> lock(m_);
-  for (std::size_t i = *cursor; i < certs_.size(); ++i) {
-    out->push_back(certs_[i]);
+  // Cursors are virtual indices; a cursor pointing below base_ names
+  // evicted certificates, which are gone — skip ahead.
+  for (std::size_t i = std::max(*cursor, base_); i < base_ + certs_.size();
+       ++i) {
+    out->push_back(certs_[i - base_]);
   }
-  *cursor = certs_.size();
+  *cursor = base_ + certs_.size();
 }
 
 std::size_t CrossIiNogoodStore::size() const {
   const std::lock_guard<std::mutex> lock(m_);
   return certs_.size();
+}
+
+std::size_t CrossIiNogoodStore::evicted() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return evicted_;
 }
 
 }  // namespace monomap

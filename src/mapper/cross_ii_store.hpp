@@ -36,12 +36,14 @@
 #define MONOMAP_MAPPER_CROSS_II_STORE_HPP
 
 #include <cstddef>
+#include <deque>
 #include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/resource.hpp"
 
 namespace monomap {
 
@@ -76,6 +78,7 @@ std::vector<std::vector<std::pair<NodeId, int>>> instantiate_rotations(
 class CrossIiNogoodStore {
  public:
   CrossIiNogoodStore() = default;
+  ~CrossIiNogoodStore();
   CrossIiNogoodStore(const CrossIiNogoodStore&) = delete;
   CrossIiNogoodStore& operator=(const CrossIiNogoodStore&) = delete;
 
@@ -86,17 +89,39 @@ class CrossIiNogoodStore {
            const std::vector<int>& labels);
 
   /// Append every certificate added since `*cursor` to `out` and advance
-  /// the cursor. A fresh cursor of 0 drains the full store.
+  /// the cursor. A fresh cursor of 0 drains the full store. Certificates
+  /// evicted under memory pressure before this reader reached them are
+  /// silently skipped (losing a nogood costs search effort, never
+  /// soundness).
   void drain(std::size_t* cursor, std::vector<SlotPartitionCert>* out) const;
 
+  /// Bind the request's memory governor: each stored certificate is
+  /// charged, and a denied charge evicts oldest-first before giving up.
+  /// Call before the store is shared across threads.
+  void set_governor(ResourceGovernor* governor);
+
   [[nodiscard]] std::size_t size() const;
+  /// Certificates evicted under memory pressure since construction.
+  [[nodiscard]] std::size_t evicted() const;
 
  private:
+  [[nodiscard]] static std::size_t cert_bytes(const SlotPartitionCert& cert);
+  void evict_front_locked();
+
   mutable std::mutex m_;
-  std::vector<SlotPartitionCert> certs_;
+  // A deque plus a monotone base offset: drain() cursors are *virtual*
+  // indices (base_ + deque position), so evicting from the front never
+  // shifts a reader's cursor onto a certificate it already consumed.
+  std::deque<SlotPartitionCert> certs_;
+  std::size_t base_ = 0;
   // Canonical partitions already stored (block_slots excluded: two
   // refutations inducing the same partition are the same knowledge).
+  // Evicted partitions stay in this set: re-adding an evicted certificate
+  // would just be re-charged and re-evicted under the same pressure.
   std::set<std::vector<std::vector<NodeId>>> seen_;
+  ResourceGovernor* gov_ = nullptr;
+  std::size_t gov_charged_ = 0;
+  std::size_t evicted_ = 0;
 };
 
 }  // namespace monomap

@@ -10,8 +10,10 @@
 #include <utility>
 
 #include "sched/mii.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
+#include "support/resource.hpp"
 #include "support/stopwatch.hpp"
 
 namespace monomap {
@@ -26,6 +28,89 @@ struct DecoupledMapper::CrossIiContext {
   std::vector<SlotPartitionCert> certs;  // local snapshot for the prefilter
 };
 
+namespace {
+
+/// Derive the structured verdict from the result flags (precedence:
+/// feasible > degraded > cancelled > memory > fault > deadline > refuted —
+/// cancellation never degrades) and publish the sound II interval.
+/// Idempotent; entry points re-run it after adding governor telemetry.
+void finalize_outcome(MapResult& r) {
+  if (r.success) {
+    r.outcome = r.degraded ? MapOutcome::kDegraded : MapOutcome::kFeasible;
+  } else if (r.cancelled) {
+    r.outcome = MapOutcome::kCancelled;
+  } else if (r.memory_out) {
+    r.outcome = MapOutcome::kMemory;
+  } else if (r.faulted) {
+    r.outcome = MapOutcome::kFault;
+  } else if (r.timed_out) {
+    r.outcome = MapOutcome::kDeadline;
+  } else {
+    r.outcome = MapOutcome::kRefuted;
+  }
+  r.ii_lo = std::max(1, r.ii_refuted_up_to + 1);
+  r.ii_hi = r.success ? r.ii : 0;
+}
+
+/// Fold one resolved attempt's effort counters into an aggregate. Result
+/// fields that identify the outcome (success, ii, mapping, failure_reason,
+/// last_space, final_ii, learnt_retained) stay the receiver's.
+void merge_attempt_counters(MapResult& into, const MapResult& from) {
+  into.time_phase_s += from.time_phase_s;
+  into.space_phase_s += from.space_phase_s;
+  into.schedules_tried += from.schedules_tried;
+  into.space_truncated += from.space_truncated;
+  into.space_exhausted += from.space_exhausted;
+  into.space_backjumps += from.space_backjumps;
+  into.budget_extensions += from.budget_extensions;
+  into.budget_shrinks += from.budget_shrinks;
+  into.budget_probes += from.budget_probes;
+  into.speculative_hits += from.speculative_hits;
+  into.nogoods_lifted_cross_ii += from.nogoods_lifted_cross_ii;
+  into.fault_retries += from.fault_retries;
+  into.mem_sheds += from.mem_sheds;
+  into.mem_peak_bytes = std::max(into.mem_peak_bytes, from.mem_peak_bytes);
+  TimeSolverStats& t = into.time_stats;
+  const TimeSolverStats& f = from.time_stats;
+  t.instances_built += f.instances_built;
+  t.sat_calls += f.sat_calls;
+  t.solutions_yielded += f.solutions_yielded;
+  t.sessions_created += f.sessions_created;
+  t.horizon_extensions += f.horizon_extensions;
+  t.assumptions_used += f.assumptions_used;
+  t.nogoods_added += f.nogoods_added;
+  t.narrow_nogoods += f.narrow_nogoods;
+  t.nogoods_lifted += f.nogoods_lifted;
+  t.nogoods_deduped += f.nogoods_deduped;
+  t.nogoods_lifted_cross_ii += f.nogoods_lifted_cross_ii;
+}
+
+/// Create this request's governor when a budget is configured and no outer
+/// scope already bound one (nested calls — the anytime probe, portfolio
+/// racers on the caller's thread — inherit the outer request's budget).
+std::unique_ptr<ResourceGovernor> make_request_governor(
+    std::size_t memory_budget_mb) {
+  if (GovernorScope::current() != nullptr || memory_budget_mb == 0) {
+    return nullptr;
+  }
+  return std::make_unique<ResourceGovernor>(memory_budget_mb << 20);
+}
+
+/// Fold governor telemetry into the result and backstop the memory
+/// classification: a tripped governor on a non-success is a memory
+/// outcome even when the trip surfaced through a generic timeout path.
+void absorb_governor(MapResult& r, const ResourceGovernor* gov) {
+  if (gov == nullptr) return;
+  r.mem_peak_bytes = std::max(r.mem_peak_bytes, gov->peak());
+  r.mem_sheds += gov->sheds();
+  if (gov->tripped()) {
+    if (!r.success && !r.cancelled) r.memory_out = true;
+    r.causes.push_back({"governor", gov->trip_reason()});
+  }
+}
+
+}  // namespace
+
 MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
   const Deadline deadline = options_.timeout_s > 0
                                 ? Deadline(options_.timeout_s)
@@ -35,8 +120,57 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch) const {
 
 MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
                                const Deadline& deadline) const {
+  std::unique_ptr<ResourceGovernor> owned_gov =
+      make_request_governor(options_.memory_budget_mb);
+  const GovernorScope scope(owned_gov.get());
+  ResourceGovernor* gov = GovernorScope::current();
+
+  // Fault containment: an injected fault (or allocation failure) escaping
+  // the walk abandons that attempt's state entirely — solvers may be
+  // mid-search — and retries from scratch after a bounded backoff.
+  // AssertionError is NOT caught: an invariant violation is a bug, not a
+  // fault to retry.
   MapResult result;
-  TimeSolverOptions time_options = options_.time;
+  int retries = 0;
+  for (;;) {
+    bool retryable = false;
+    try {
+      result = map_sequential(dfg, arch, deadline);
+      result.fault_retries += retries;
+      break;
+    } catch (const fault::FaultInjectedError& e) {
+      result = MapResult{};
+      result.faulted = true;
+      result.timed_out = true;
+      result.failure_reason = std::string("injected fault: ") + e.what();
+      result.causes.push_back({e.site(), "injected fault"});
+      retryable = true;
+    } catch (const std::bad_alloc&) {
+      result = MapResult{};
+      result.memory_out = true;
+      result.timed_out = true;
+      result.failure_reason = "allocation failure";
+      result.causes.push_back({"alloc", "allocation failure"});
+      retryable = true;
+    }
+    if (!retryable || retries >= options_.max_fault_retries ||
+        !fault::backoff_sleep(deadline, retries)) {
+      result.fault_retries = retries;
+      result.cancelled = deadline.cancel_fired();
+      break;
+    }
+    ++retries;
+  }
+  absorb_governor(result, gov);
+  finalize_outcome(result);
+  return result;
+}
+
+MapResult DecoupledMapper::map_walk(const Dfg& dfg, const CgraArch& arch,
+                                    const Deadline& deadline,
+                                    const TimeSolverOptions& time_opts) const {
+  MapResult result;
+  TimeSolverOptions time_options = time_opts;
   if (options_.space.model == MrrgModel::kConsecutiveOnly) {
     // Restricted interconnect: keep the time search consistent with the
     // space model, or every schedule with a long slot span would be
@@ -48,6 +182,66 @@ MapResult DecoupledMapper::map(const Dfg& dfg, const CgraArch& arch,
   run_mapping_loop(dfg, arch, deadline, time_solver, nullptr, result);
   result.time_stats = time_solver.stats();
   result.total_s = result.time_phase_s + result.space_phase_s;
+  return result;
+}
+
+MapResult DecoupledMapper::map_sequential(const Dfg& dfg, const CgraArch& arch,
+                                          const Deadline& deadline) const {
+  if (!options_.anytime) {
+    return map_walk(dfg, arch, deadline, options_.time);
+  }
+  // Anytime mode: secure the fallback first. At the automatic ceiling
+  // (max(mII, #nodes)) a fully sequential schedule always satisfies
+  // capacity and connectivity, so the probe is cheap and near-certain;
+  // a user-configured max_ii is probed instead when set.
+  const MiiBreakdown mii = compute_mii(dfg, arch);
+  const int probe_ii = options_.time.max_ii > 0
+                           ? options_.time.max_ii
+                           : std::max(mii.mii(), std::max(1, dfg.num_nodes()));
+  MapResult probe = map_at_ii(dfg, arch, probe_ii, deadline);
+  if (!probe.success) {
+    // No safety net to degrade onto — fall back to the plain walk (the
+    // probe's effort is merged so telemetry still accounts for it).
+    MapResult result = map_walk(dfg, arch, deadline, options_.time);
+    merge_attempt_counters(result, probe);
+    return result;
+  }
+  if (probe_ii <= mii.mii()) {
+    // The ceiling IS the floor: the probe is provably optimal.
+    probe.ii_refuted_up_to = mii.mii() - 1;
+    return probe;
+  }
+  TimeSolverOptions walk_time = options_.time;
+  walk_time.max_ii = probe_ii - 1;
+  MapResult walk = map_walk(dfg, arch, deadline, walk_time);
+  if (walk.success) {
+    merge_attempt_counters(walk, probe);
+    return walk;
+  }
+  if (walk.cancelled) {
+    // Cancellation never degrades: the caller asked this run to stop
+    // producing, not for its best effort so far.
+    merge_attempt_counters(walk, probe);
+    return walk;
+  }
+  // The capped walk ended without a better mapping. If it soundly refuted
+  // everything below the probe, the probe is the proven optimum; otherwise
+  // return it marked degraded with the sound interval the walk did
+  // establish.
+  MapResult result = std::move(probe);
+  merge_attempt_counters(result, walk);
+  result.ii_refuted_up_to = walk.ii_refuted_up_to;
+  if (walk.ii_refuted_up_to >= probe_ii - 1) {
+    return result;  // kFeasible, interval collapses to [probe_ii, probe_ii]
+  }
+  result.degraded = true;
+  result.timed_out = walk.timed_out;
+  result.memory_out = walk.memory_out;
+  result.faulted = walk.faulted;
+  result.failure_reason = walk.failure_reason;
+  result.causes = walk.causes;
+  result.causes.push_back(
+      {"anytime", "walk below the held mapping was cut short"});
   return result;
 }
 
@@ -73,6 +267,7 @@ MapResult DecoupledMapper::map_at_ii(const Dfg& dfg, const CgraArch& arch,
                    store != nullptr ? &ctx : nullptr, result);
   result.time_stats = time_solver.stats();
   result.total_s = result.time_phase_s + result.space_phase_s;
+  finalize_outcome(result);
   return result;
 }
 
@@ -94,7 +289,34 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
   bool refuted_at_current_ii = false;  // any complete refutation at this II
   bool probed_at_current_ii = false;   // last-chance probe already granted
   int last_ii = -1;
+  // Sound refutation accounting. An II counts as soundly refuted only when
+  // its time search exhausted naturally (never via skip_to_next_ii — the
+  // retry caps are heuristics) AND no space search at it was truncated:
+  // every schedule was either fully refuted in space or pruned by a sound
+  // nogood/prefilter certificate. The run value advances contiguously from
+  // the solver's starting II, so the reported interval never has holes.
+  const int start_ii = time_solver.current_ii();
+  int run_refuted_up_to = start_ii - 1;
+  bool truncated_at_current_ii = false;
+  bool skipped_current_ii = false;
+  const auto note_ii_closed = [&](int closed_ii) {
+    if (closed_ii >= 0 && !skipped_current_ii && !truncated_at_current_ii &&
+        closed_ii == run_refuted_up_to + 1) {
+      run_refuted_up_to = closed_ii;
+    }
+    truncated_at_current_ii = false;
+    skipped_current_ii = false;
+  };
   for (;;) {
+    if (options_.max_schedules > 0 &&
+        result.schedules_tried >= options_.max_schedules) {
+      // Deterministic work budget: unlike a wall deadline this trips at a
+      // bit-reproducible point, so degraded anytime results are replayable.
+      result.timed_out = true;
+      result.failure_reason = "schedule budget exhausted";
+      result.causes.push_back({"budget", "schedule budget exhausted"});
+      break;
+    }
     if (ctx != nullptr) {
       // Pull certificates the other racing IIs learned since the last
       // look: instantiate their cyclic-rotation clauses into this II's
@@ -121,15 +343,34 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
     if (!schedule.has_value()) {
       result.timed_out = time_solver.timed_out();
       result.cancelled = result.timed_out && deadline.cancel_fired();
-      result.failure_reason = result.timed_out
-                                  ? "time search hit the deadline"
-                                  : "time search exhausted up to max II";
+      if (result.timed_out && time_solver.memory_out()) {
+        result.memory_out = true;
+        result.failure_reason = "time search exceeded the memory budget";
+        result.causes.push_back({"time", "memory budget exceeded"});
+      } else {
+        result.failure_reason = result.timed_out
+                                    ? "time search hit the deadline"
+                                    : "time search exhausted up to max II";
+      }
+      if (!result.timed_out) {
+        // Natural exhaustion of the whole range: close the last II the
+        // solver visited, and if the run stayed contiguous to it — or the
+        // range was refuted purely in time (last_ii == -1, not one
+        // schedule yielded) — the full range up to max_ii is sound.
+        note_ii_closed(last_ii);
+        if (last_ii == -1 || run_refuted_up_to == last_ii) {
+          run_refuted_up_to = time_solver.max_ii();
+        }
+        result.causes.push_back({"time", "search space exhausted"});
+      }
       break;
     }
     ++result.schedules_tried;
     if (schedule->ii != last_ii) {
       // The time solver escalates II on its own when an II's schedules are
       // exhausted; the new II's first schedule gets the full search effort.
+      // The II it left behind is closed: fold it into the sound run.
+      note_ii_closed(last_ii);
       uninformative_at_current_ii = 0;
       narrow_refutations_at_current_ii = 0;
       refuted_at_current_ii = false;
@@ -199,6 +440,14 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
                              << violations.front().what);
       break;
     }
+    if (space.memory_out) {
+      result.timed_out = true;
+      result.memory_out = true;
+      result.cancelled = deadline.cancel_fired();
+      result.failure_reason = "space search exceeded the memory budget";
+      result.causes.push_back({"space", "memory budget exceeded"});
+      break;
+    }
     if (space.deadline_expired) {
       result.timed_out = true;
       result.cancelled = deadline.cancel_fired();
@@ -228,6 +477,9 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
     if (space.truncated) {
       ++result.space_truncated;
       ++uninformative_at_current_ii;
+      // A truncated space search proves nothing about this II: it can
+      // never enter the sound refuted interval.
+      truncated_at_current_ii = true;
     } else {
       ++result.space_exhausted;
       refuted_at_current_ii = true;
@@ -319,6 +571,9 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
       refuted_at_current_ii = false;
       probed_at_current_ii = false;
       budget = base_budget;
+      // Giving an II up by retry-cap heuristic is NOT a refutation:
+      // schedules at it may remain untried. Keep it out of the sound run.
+      skipped_current_ii = true;
       phase.restart();
       const bool more = time_solver.skip_to_next_ii();
       result.time_phase_s += phase.elapsed_s();
@@ -329,6 +584,15 @@ void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
       MONOMAP_DEBUG("escalating to II=" << time_solver.current_ii());
     }
   }
+  // Publish the sound interval. A pinned attempt starting above mII (the
+  // speculative racers) cannot claim IIs below its own start refuted — it
+  // never looked at them — so it only reports the universally-known
+  // [1, mII) floor; its per-run verdict travels via sound_refutation.
+  const int mii = result.mii.mii();
+  result.sound_refutation = !result.success && !result.timed_out &&
+                            run_refuted_up_to >= time_solver.max_ii();
+  result.ii_refuted_up_to =
+      (start_ii <= mii) ? run_refuted_up_to : mii - 1;
 }
 
 std::vector<SpaceOptions> default_portfolio_configs(const SpaceOptions& base) {
@@ -412,36 +676,6 @@ MapResult DecoupledMapper::map_portfolio(const Dfg& dfg, const CgraArch& arch,
 
 namespace {
 
-/// Fold one resolved attempt's effort counters into an aggregate. Result
-/// fields that identify the outcome (success, ii, mapping, failure_reason,
-/// last_space, final_ii, learnt_retained) stay the receiver's.
-void merge_attempt_counters(MapResult& into, const MapResult& from) {
-  into.time_phase_s += from.time_phase_s;
-  into.space_phase_s += from.space_phase_s;
-  into.schedules_tried += from.schedules_tried;
-  into.space_truncated += from.space_truncated;
-  into.space_exhausted += from.space_exhausted;
-  into.space_backjumps += from.space_backjumps;
-  into.budget_extensions += from.budget_extensions;
-  into.budget_shrinks += from.budget_shrinks;
-  into.budget_probes += from.budget_probes;
-  into.speculative_hits += from.speculative_hits;
-  into.nogoods_lifted_cross_ii += from.nogoods_lifted_cross_ii;
-  TimeSolverStats& t = into.time_stats;
-  const TimeSolverStats& f = from.time_stats;
-  t.instances_built += f.instances_built;
-  t.sat_calls += f.sat_calls;
-  t.solutions_yielded += f.solutions_yielded;
-  t.sessions_created += f.sessions_created;
-  t.horizon_extensions += f.horizon_extensions;
-  t.assumptions_used += f.assumptions_used;
-  t.nogoods_added += f.nogoods_added;
-  t.narrow_nogoods += f.narrow_nogoods;
-  t.nogoods_lifted += f.nogoods_lifted;
-  t.nogoods_deduped += f.nogoods_deduped;
-  t.nogoods_lifted_cross_ii += f.nogoods_lifted_cross_ii;
-}
-
 /// One speculative cross-II race: per-II pinned attempts on a shared
 /// work-stealing pool, a frontier walking upward over refutations, and a
 /// commit rule that only accepts a feasible II once every smaller II is
@@ -460,12 +694,14 @@ class SpeculativeRun {
     int max_ii = 1;     // inclusive II ceiling (mirrors TimeSolver's rule)
     int lookahead = 2;  // IIs kept in flight beyond the frontier
     bool lift = false;  // cross-II certificate sharing (register persistence)
+    bool anytime = false;       // degrade to the best held feasible mapping
+    int max_fault_retries = 3;  // per-attempt injected-fault retry cap
   };
 
   SpeculativeRun(const DecoupledMapper& mapper, const Dfg& dfg,
                  const CgraArch& arch, const Deadline& base,
                  const Config& config, WorkStealingPool& pool,
-                 MiiBreakdown mii)
+                 MiiBreakdown mii, ResourceGovernor* gov)
       : mapper_(mapper),
         dfg_(dfg),
         arch_(arch),
@@ -473,7 +709,11 @@ class SpeculativeRun {
         config_(config),
         pool_(pool),
         mii_(std::move(mii)),
-        frontier_(config.start_ii) {}
+        gov_(gov),
+        frontier_(config.start_ii),
+        refuted_up_to_(config.start_ii - 1) {
+    store_.set_governor(gov);
+  }
 
   /// Launch the initial attempt window. Call once, before wait_idle().
   void start() {
@@ -489,10 +729,22 @@ class SpeculativeRun {
     launch_locked();
   }
 
-  /// The committed result. Valid only after the pool drained.
+  /// The committed result. Valid after the pool drained; if a worker
+  /// failure left the run uncommitted (its attempt's tail never ran), the
+  /// accumulated effort is returned classified as a fault instead of
+  /// asserting — batch siblings must not lose their results over it.
   MapResult take() {
     const std::lock_guard<std::mutex> lock(m_);
-    MONOMAP_ASSERT_MSG(done_, "speculative run not finished");
+    if (!done_) {
+      MapResult aborted = std::move(aggregate_);
+      aborted.faulted = true;
+      aborted.timed_out = true;
+      aborted.failure_reason = "speculative run aborted by a worker failure";
+      aborted.causes.push_back(
+          {"speculative", "worker failed before the run committed"});
+      aborted.ii_refuted_up_to = refuted_up_to_;
+      commit_locked(std::move(aborted));
+    }
     return std::move(final_);
   }
 
@@ -522,6 +774,9 @@ class SpeculativeRun {
   }
 
   void run_attempt(int ii, Attempt* a) {
+    // Pool workers are fresh threads: bind the request's governor so the
+    // attempt's solvers charge the shared budget.
+    const GovernorScope scope(gov_);
     MapResult r;
     if (a->token.cancelled()) {
       // Cancelled while still queued (a smaller II already won, or the
@@ -533,9 +788,42 @@ class SpeculativeRun {
       // The attempt shares the run's wall budget (remaining as of launch —
       // both deadlines tick from the same start) and carries its own
       // cancel token so a smaller feasible II can cut it individually.
+      // Injected faults and allocation failures abandon the attempt's
+      // solvers and retry from scratch after a bounded backoff; a
+      // permanent fault resolves the attempt as unresolved-at-deadline so
+      // the frontier reports it instead of crashing the race.
       const Deadline deadline(base_.remaining_s(), &a->token);
-      r = mapper_.map_at_ii(dfg_, arch_, ii, deadline,
-                            config_.lift ? &store_ : nullptr);
+      int retries = 0;
+      for (;;) {
+        bool retryable = false;
+        try {
+          r = mapper_.map_at_ii(dfg_, arch_, ii, deadline,
+                                config_.lift ? &store_ : nullptr);
+          r.fault_retries += retries;
+          break;
+        } catch (const fault::FaultInjectedError& e) {
+          r = MapResult{};
+          r.faulted = true;
+          r.timed_out = true;
+          r.failure_reason = std::string("injected fault: ") + e.what();
+          r.causes.push_back({e.site(), "injected fault"});
+          retryable = true;
+        } catch (const std::bad_alloc&) {
+          r = MapResult{};
+          r.memory_out = true;
+          r.timed_out = true;
+          r.failure_reason = "allocation failure";
+          r.causes.push_back({"alloc", "allocation failure"});
+          retryable = true;
+        }
+        if (!retryable || retries >= config_.max_fault_retries ||
+            !fault::backoff_sleep(deadline, retries)) {
+          r.fault_retries = retries;
+          r.cancelled = deadline.cancel_fired();
+          break;
+        }
+        ++retries;
+      }
     }
 
     const std::lock_guard<std::mutex> lock(m_);
@@ -573,16 +861,42 @@ class SpeculativeRun {
         // feasible II, same answer the sequential walk reaches.
         MapResult final_result = std::move(a.result);
         merge_attempt_counters(final_result, aggregate_);
+        final_result.ii_refuted_up_to = refuted_up_to_;
         commit_locked(std::move(final_result));
         return;
       }
       if (a.state == Attempt::State::kTimedOut) {
         // The frontier is never cancelled by us (only IIs above a feasible
         // one are), so this is the shared wall budget or the caller's
-        // token. Optimality below a held feasible II is unprovable now —
-        // report the timeout rather than a possibly non-minimal mapping.
+        // token. Optimality below a held feasible II is unprovable now.
+        if (config_.anytime && best_feasible_ >= 0 && !base_.cancel_fired()) {
+          // Anytime contract: surrender optimality, not the mapping. The
+          // best held feasible II ships marked degraded, with the sound
+          // interval [refuted_up_to_ + 1, best_feasible_] and the
+          // frontier's stop cause attached. (An explicit caller cancel
+          // still returns nothing — cancellation never degrades.)
+          const auto best = attempts_.find(best_feasible_);
+          MONOMAP_ASSERT(best != attempts_.end());
+          MapResult final_result = std::move(best->second->result);
+          merge_attempt_counters(final_result, aggregate_);
+          merge_attempt_counters(final_result, a.result);
+          final_result.degraded = true;
+          final_result.timed_out = a.result.timed_out;
+          final_result.memory_out = a.result.memory_out;
+          final_result.faulted = a.result.faulted;
+          final_result.ii_refuted_up_to = refuted_up_to_;
+          std::ostringstream note;
+          note << "II=" << frontier_ << " unresolved ("
+               << a.result.failure_reason << ")";
+          final_result.causes.push_back({"speculative", note.str()});
+          commit_locked(std::move(final_result));
+          return;
+        }
+        // Strict mode: report the timeout rather than a possibly
+        // non-minimal mapping.
         MapResult final_result = std::move(a.result);
         merge_attempt_counters(final_result, aggregate_);
+        final_result.ii_refuted_up_to = refuted_up_to_;
         if (best_feasible_ >= 0) {
           std::ostringstream note;
           note << final_result.failure_reason << " (II=" << frontier_
@@ -593,10 +907,16 @@ class SpeculativeRun {
         commit_locked(std::move(final_result));
         return;
       }
-      // Refuted. The topmost II carries the exhaustion verdict itself.
+      // Refuted. A pinned attempt whose whole (single-II) range was
+      // soundly refuted extends the contiguous sound interval.
+      if (a.result.sound_refutation && it->first == refuted_up_to_ + 1) {
+        refuted_up_to_ = it->first;
+      }
+      // The topmost II carries the exhaustion verdict itself.
       if (it->first >= config_.max_ii) {
         MapResult final_result = std::move(a.result);
         merge_attempt_counters(final_result, aggregate_);
+        final_result.ii_refuted_up_to = refuted_up_to_;
         commit_locked(std::move(final_result));
         return;
       }
@@ -610,6 +930,7 @@ class SpeculativeRun {
     final_result.mii = mii_;
     final_result.total_s =
         final_result.time_phase_s + final_result.space_phase_s;
+    finalize_outcome(final_result);
     for (auto& [ii, attempt] : attempts_) {
       if (attempt->state == Attempt::State::kRunning) {
         attempt->cancelled_by_us = true;
@@ -627,12 +948,17 @@ class SpeculativeRun {
   const Config config_;
   WorkStealingPool& pool_;
   const MiiBreakdown mii_;
+  ResourceGovernor* gov_;  // request governor, rebound on each worker
   CrossIiNogoodStore store_;
 
   std::mutex m_;
   std::map<int, std::unique_ptr<Attempt>> attempts_;
   int frontier_;            // lowest unresolved II
   int best_feasible_ = -1;  // smallest II with a held feasible mapping
+  // Largest II such that [start_ii, refuted_up_to_] is contiguously,
+  // soundly refuted (pinned attempts report sound_refutation; heuristic
+  // give-ups do not extend this).
+  int refuted_up_to_;
   // Effort counters of the refuted IIs the frontier walked over, merged in
   // ascending II order (cancelled speculative losers above the final II
   // are deliberately excluded — they are wall-clock, not work the answer
@@ -656,6 +982,8 @@ SpeculativeRun::Config speculative_config(const DecoupledMapperOptions& options,
   config.lookahead = std::max(lookahead, 0);
   config.lift = share_nogoods &&
                 options.space.model == MrrgModel::kRegisterPersistence;
+  config.anytime = options.anytime;
+  config.max_fault_retries = options.max_fault_retries;
   return config;
 }
 
@@ -687,16 +1015,41 @@ MapResult DecoupledMapper::map_speculative(const Dfg& dfg,
                                            const CgraArch& arch,
                                            const Deadline& deadline,
                                            const SpeculativeOptions& spec) const {
+  std::unique_ptr<ResourceGovernor> owned_gov =
+      make_request_governor(options_.memory_budget_mb);
+  const GovernorScope scope(owned_gov.get());
+  ResourceGovernor* gov = GovernorScope::current();
+
   WorkStealingPool pool(clamp_pool_threads(spec.num_threads));
   MiiBreakdown mii = compute_mii(dfg, arch);
   const SpeculativeRun::Config config = speculative_config(
       options_, dfg, spec.lookahead, spec.share_nogoods, mii);
   SpeculativeRun run(*this, dfg, arch, deadline, config, pool,
-                     std::move(mii));
+                     std::move(mii), gov);
   run.start();
-  pool.wait_idle();
+  const std::exception_ptr error = pool.wait_idle_collect();
   MapResult result = run.take();
   result.steals = pool.steals();
+  if (error != nullptr) {
+    // A worker died past its retry budget. Classify the known fault
+    // classes onto the result (take() already salvaged the effort
+    // counters); anything else — AssertionError above all — propagates.
+    try {
+      std::rethrow_exception(error);
+    } catch (const fault::FaultInjectedError& e) {
+      if (!result.success) {
+        result.faulted = true;
+        result.causes.push_back({e.site(), "injected fault"});
+      }
+    } catch (const std::bad_alloc&) {
+      if (!result.success) {
+        result.memory_out = true;
+        result.causes.push_back({"alloc", "allocation failure"});
+      }
+    }
+  }
+  absorb_governor(result, gov);
+  finalize_outcome(result);
   return result;
 }
 
@@ -721,6 +1074,10 @@ std::vector<MapResult> DecoupledMapper::map_batch(
     // Sequential reference path: every case runs the plain map() in order.
     for (std::size_t i = 0; i < dfgs.size(); ++i) {
       results[i] = map(*dfgs[i], arch, deadline);
+      if (stats != nullptr) {
+        ++stats->outcome_counts[static_cast<std::size_t>(
+            results[i].outcome)];
+      }
     }
     return results;
   }
@@ -732,6 +1089,11 @@ std::vector<MapResult> DecoupledMapper::map_batch(
   // No certificate sharing: batch results stay bit-exactly what the
   // per-case sequential map() would return (see SpeculativeOptions::
   // share_nogoods for why warm starts can move the committed II).
+  std::unique_ptr<ResourceGovernor> owned_gov =
+      make_request_governor(options_.memory_budget_mb);
+  const GovernorScope scope(owned_gov.get());
+  ResourceGovernor* gov = GovernorScope::current();
+
   WorkStealingPool pool(clamp_pool_threads(num_threads));
   std::vector<std::unique_ptr<SpeculativeRun>> runs;
   runs.reserve(dfgs.size());
@@ -740,14 +1102,30 @@ std::vector<MapResult> DecoupledMapper::map_batch(
     const SpeculativeRun::Config config = speculative_config(
         options_, *dfg, /*lookahead=*/1, /*share_nogoods=*/false, mii);
     runs.push_back(std::make_unique<SpeculativeRun>(
-        *this, *dfg, arch, deadline, config, pool, std::move(mii)));
+        *this, *dfg, arch, deadline, config, pool, std::move(mii), gov));
   }
   for (auto& run : runs) run->start();
-  pool.wait_idle();
+  const std::exception_ptr error = pool.wait_idle_collect();
+  if (error != nullptr) {
+    // One poisoned case must not sink the batch: the known fault classes
+    // are already folded into the affected case's take() fallback;
+    // anything else (AssertionError first) propagates.
+    try {
+      std::rethrow_exception(error);
+    } catch (const fault::FaultInjectedError&) {
+    } catch (const std::bad_alloc&) {
+    }
+  }
   for (std::size_t i = 0; i < runs.size(); ++i) {
     results[i] = runs[i]->take();
+    if (stats != nullptr) {
+      ++stats->outcome_counts[static_cast<std::size_t>(results[i].outcome)];
+    }
   }
-  if (stats != nullptr) stats->steals = pool.steals();
+  if (stats != nullptr) {
+    stats->steals = pool.steals();
+    stats->fault_requeues = pool.fault_requeues();
+  }
   return results;
 }
 

@@ -12,12 +12,15 @@
 #ifndef MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
 #define MONOMAP_MAPPER_DECOUPLED_MAPPER_HPP
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "mapper/cross_ii_store.hpp"
 #include "mapper/mapping.hpp"
 #include "space/monomorphism.hpp"
+#include "support/outcome.hpp"
 #include "timing/time_solver.hpp"
 
 namespace monomap {
@@ -80,6 +83,30 @@ struct DecoupledMapperOptions {
   /// engine proved schedules dead there within budget) escalate without
   /// the probe. Bounded: one probe per II.
   bool last_chance_probe = true;
+  /// Anytime mode (map() only): before the bottom-up walk, secure a
+  /// fallback mapping at the II ceiling (max(mII, #nodes) — where a fully
+  /// sequential schedule always places) and cap the walk below it. If the
+  /// walk is cut short by the deadline, the schedule budget, or the memory
+  /// governor, the held mapping is returned marked MapOutcome::kDegraded
+  /// with the sound interval [ii_lo, ii_hi] instead of a bare failure; if
+  /// the walk soundly refutes everything below the ceiling, the fallback
+  /// is promoted to kFeasible. Default off: the probe costs one extra
+  /// mapping attempt, and non-anytime callers pin exact-walk behaviour.
+  bool anytime = false;
+  /// Deterministic work budget: give up (timed_out, or degraded under
+  /// anytime) after this many schedules have been tried. Unlike the wall
+  /// clock this is bit-reproducible across machines and runs — the
+  /// degraded-mode determinism test pins that. 0 = unlimited.
+  int max_schedules = 0;
+  /// Retries after an injected fault or allocation failure before the
+  /// request is classified kFault/kMemory (bounded exponential backoff
+  /// between attempts; see support/fault.hpp).
+  int max_fault_retries = 3;
+  /// Per-request memory budget in MiB, accounted by the SAT learnt DB, the
+  /// bitset searcher's trail reservations, and the cross-II nogood store
+  /// (see support/resource.hpp). 0 = unlimited — and bit-identical to the
+  /// ungoverned build.
+  std::size_t memory_budget_mb = 0;
 };
 
 /// Parallel-portfolio configuration: race several space-search
@@ -134,6 +161,10 @@ struct SpeculativeOptions {
 /// cannot carry pool-level counters without double counting).
 struct BatchStats {
   std::uint64_t steals = 0;  // tasks taken from another worker's deque
+  /// Tasks a worker put back after an injected pool.worker fault fired.
+  std::uint64_t fault_requeues = 0;
+  /// Cases per final MapOutcome, indexed by static_cast<int>(outcome).
+  std::array<std::uint64_t, kMapOutcomeCount> outcome_counts{};
 };
 
 struct MapResult {
@@ -145,6 +176,45 @@ struct MapResult {
   /// this to tell a cancelled case from one that genuinely ran out of
   /// budget.
   bool cancelled = false;
+  /// Structured verdict derived from the flags below (precedence:
+  /// feasible > degraded > cancelled > memory > fault > deadline >
+  /// refuted). The flags stay authoritative for callers that predate the
+  /// taxonomy; `outcome` is what the CLI exit code and batch telemetry
+  /// key on.
+  MapOutcome outcome = MapOutcome::kRefuted;
+  /// Machine-readable cause chain (site, detail), outermost first.
+  std::vector<OutcomeCause> causes;
+  /// Anytime mode: `mapping` is the held fallback, not a proven optimum —
+  /// the walk below ii was cut short. The true minimal II lies in
+  /// [ii_lo, ii_hi] (see below). Implies success.
+  bool degraded = false;
+  /// The request's memory governor tripped (subset of timed_out on
+  /// non-degraded results).
+  bool memory_out = false;
+  /// An injected fault (or allocation failure) survived every retry.
+  bool faulted = false;
+  /// Fault-retry attempts consumed (see
+  /// DecoupledMapperOptions::max_fault_retries).
+  int fault_retries = 0;
+  /// Sound interval for the optimal II. ii_lo = deepest soundly refuted
+  /// II + 1 — an II counts as refuted only via natural time-phase
+  /// exhaustion with zero truncated space searches at that II (heuristic
+  /// skips prove nothing), contiguously from the walk's start. ii_hi is
+  /// the achieved II on success/degraded, 0 (unknown) otherwise. On a
+  /// kFeasible result from the plain walk ii_hi == ii but ii_lo may sit
+  /// below it when the walk skipped IIs heuristically.
+  int ii_lo = 1;
+  int ii_hi = 0;
+  /// The raw contiguous sound-refutation high-water mark behind ii_lo.
+  int ii_refuted_up_to = 0;
+  /// This run soundly refuted its ENTIRE II range (natural time-phase
+  /// exhaustion, zero truncated space searches, no heuristic skips). For a
+  /// pinned map_at_ii run this means exactly "this II is soundly refuted"
+  /// — the speculative walk's interval tracking keys on it.
+  bool sound_refutation = false;
+  /// Memory-governor telemetry (zero when ungoverned).
+  std::size_t mem_peak_bytes = 0;
+  int mem_sheds = 0;
   Mapping mapping;
   int ii = 0;
   MiiBreakdown mii;
@@ -266,6 +336,17 @@ class DecoupledMapper {
   void run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
                         const Deadline& deadline, TimeSolver& time_solver,
                         CrossIiContext* ctx, MapResult& result) const;
+
+  /// One bottom-up walk under the given time options (the historical map()
+  /// body, parameterised so the anytime path can cap max_ii).
+  MapResult map_walk(const Dfg& dfg, const CgraArch& arch,
+                     const Deadline& deadline,
+                     const TimeSolverOptions& time_options) const;
+
+  /// map() minus governor binding and fault retries: the plain walk, or
+  /// the anytime probe + capped walk + degradation merge.
+  MapResult map_sequential(const Dfg& dfg, const CgraArch& arch,
+                           const Deadline& deadline) const;
 
   DecoupledMapperOptions options_;
 };

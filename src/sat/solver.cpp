@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/fault.hpp"
+#include "support/resource.hpp"
+
 namespace monomap {
 
 const char* to_string(SatStatus status) {
@@ -158,6 +161,23 @@ struct SatSolver::Impl {
   // array read, with no per-clause allocation, sort, or clearing.
   std::vector<std::uint64_t> lbd_stamp;
   std::uint64_t lbd_stamp_id = 0;
+
+  // Memory governor for the learnt DB (see support/resource.hpp). Captured
+  // from the thread-local scope at the first solve; bytes charged here are
+  // given back as reduce_db() deletes clauses and in full on destruction.
+  ResourceGovernor* gov = nullptr;
+  std::size_t gov_charged = 0;
+  bool out_of_memory = false;  // last kUnknown was a budget trip
+
+  ~Impl() {
+    if (gov != nullptr) gov->uncharge(gov_charged);
+  }
+
+  /// Footprint estimate for a learnt clause of n literals: the Clause
+  /// header, its literal storage, and a nod to allocator/watcher overhead.
+  [[nodiscard]] static std::size_t clause_bytes(std::size_t n) {
+    return sizeof(Clause) + n * sizeof(Lit) + 2 * sizeof(Watch) + 32;
+  }
 
   [[nodiscard]] int decision_level() const {
     return static_cast<int>(trail_lim.size());
@@ -475,6 +495,16 @@ struct SatSolver::Impl {
                                return is_victim(c.get());
                              });
     stats.deleted_clauses += static_cast<std::uint64_t>(learnts.end() - it);
+    if (gov != nullptr) {
+      // Give the victims' bytes back. Clamped to what THIS solver charged:
+      // clauses learnt before the governor was bound were never charged,
+      // and unclamped refunds would underflow the shared used() counter.
+      std::size_t freed = 0;
+      for (Clause* c : victims) freed += clause_bytes(c->lits.size());
+      freed = std::min(freed, gov_charged);
+      gov->uncharge(freed);
+      gov_charged -= freed;
+    }
     learnts.erase(it, learnts.end());
   }
 
@@ -512,6 +542,25 @@ struct SatSolver::Impl {
         if (learnt.size() == 1) {
           enqueue(learnt[0], nullptr);
         } else {
+          if (gov != nullptr) {
+            // Charge the new learnt clause against the memory budget. On
+            // denial, shed (reduce_db is safe mid-search: reason clauses
+            // are locked by is_reason) and retry once; if the budget still
+            // cannot hold it, trip and abort into a clean memory outcome.
+            const std::size_t bytes = clause_bytes(learnt.size());
+            bool granted = gov->try_charge(bytes);
+            if (!granted) {
+              gov->note_shed();
+              reduce_db();
+              granted = gov->try_charge(bytes);
+            }
+            if (!granted) {
+              gov->trip("sat learnt DB exceeded the memory budget");
+              out_of_memory = true;
+              return SatStatus::kUnknown;
+            }
+            gov_charged += bytes;
+          }
           auto clause = std::make_unique<Clause>();
           clause->lits = learnt;
           clause->learnt = true;
@@ -529,8 +578,14 @@ struct SatSolver::Impl {
         if (conflict_budget != 0 && stats.conflicts >= conflict_budget) {
           return SatStatus::kUnknown;
         }
-        if ((conflicts_here & 0xFF) == 0 && deadline.expired()) {
-          return SatStatus::kUnknown;
+        if ((conflicts_here & 0xFF) == 0) {
+          if (deadline.expired()) return SatStatus::kUnknown;
+          // Watchdog: another subsystem tripped the shared governor —
+          // convert this search into the same classified memory outcome.
+          if (gov != nullptr && gov->tripped()) {
+            out_of_memory = true;
+            return SatStatus::kUnknown;
+          }
         }
       } else {
         if (conflicts_here >= restart_conflicts) {
@@ -538,7 +593,9 @@ struct SatSolver::Impl {
           cancel_until(0);
           return SatStatus::kUnknown;  // caller restarts
         }
-        if (learnts.size() > 8192 + 1024 * stats.restarts &&
+        if ((learnts.size() > 8192 + 1024 * stats.restarts ||
+             (gov != nullptr && gov->soft_pressure() &&
+              learnts.size() > 256)) &&
             decision_level() == 0) {
           reduce_db();
         }
@@ -637,9 +694,12 @@ SatStatus SatSolver::solve(const Deadline& deadline,
 SatStatus SatSolver::solve_assuming(const std::vector<Lit>& assumptions,
                                     const Deadline& deadline,
                                     std::uint64_t conflict_budget) {
+  fault::maybe_inject("sat.solve");
   Impl& s = *impl_;
   s.conflict.clear();
   s.assumption_failed = false;
+  s.out_of_memory = false;
+  if (s.gov == nullptr) s.gov = GovernorScope::current();
   if (!s.ok) return SatStatus::kUnsat;
   s.assumptions = assumptions;
   s.cancel_until(0);
@@ -672,7 +732,7 @@ SatStatus SatSolver::solve_assuming(const std::vector<Lit>& assumptions,
       return SatStatus::kUnsat;
     }
     s.cancel_until(0);
-    if (deadline.expired() ||
+    if (s.out_of_memory || deadline.expired() ||
         (budget_base != 0 && s.stats.conflicts >= budget_base)) {
       s.assumptions.clear();
       return SatStatus::kUnknown;
@@ -686,6 +746,10 @@ const std::vector<Lit>& SatSolver::failed_assumptions() const {
 
 int SatSolver::num_learnts() const {
   return static_cast<int>(impl_->learnts.size());
+}
+
+bool SatSolver::last_unknown_was_memory() const {
+  return impl_->out_of_memory;
 }
 
 void SatSolver::set_polarity(SatVar v, bool phase) {

@@ -85,6 +85,13 @@ class SatSolver {
   /// reuse statistic).
   [[nodiscard]] int num_learnts() const;
 
+  /// True when the last solve returned kUnknown because the bound
+  /// ResourceGovernor's memory budget tripped (learnt-DB charge denied
+  /// even after shedding, or another subsystem tripped the governor),
+  /// rather than because of the deadline or conflict budget. The caller
+  /// maps this to the `memory` outcome instead of `deadline`.
+  [[nodiscard]] bool last_unknown_was_memory() const;
+
   /// Seed the decision phase of `v` (the polarity picked when the solver
   /// branches on it). Overwritten by phase saving once the variable is
   /// assigned during search; callers use this to bias the FIRST model

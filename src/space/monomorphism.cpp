@@ -4,7 +4,9 @@
 #include <bit>
 
 #include "support/assert.hpp"
+#include "support/fault.hpp"
 #include "support/pe_set.hpp"
+#include "support/resource.hpp"
 #include "support/simd.hpp"
 
 namespace monomap {
@@ -339,24 +341,53 @@ class BitsetSearcher {
     // filters (<= 2 * words_), never both; at most n_ depths are active.
     // Reserving the bound up front is what keeps the recursion heap-silent
     // — run() asserts it was never exceeded.
-    trail_.reserve(static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(n_) *
-                   static_cast<std::size_t>(2 * words_ + 1));
-    trail_reserved_ = trail_.capacity();
+    const std::size_t trail_cap = static_cast<std::size_t>(n_) *
+                                  static_cast<std::size_t>(n_) *
+                                  static_cast<std::size_t>(2 * words_ + 1);
     // Pruner-set bound: per (depth, pruned node) the new bits are at most
     // the assigned culprit, the primary distance-2 witness, and one
     // same-label witness group.
-    pruner_trail_.reserve(static_cast<std::size_t>(n_) *
-                          static_cast<std::size_t>(n_) *
-                          static_cast<std::size_t>(2 + std::max(max_mult_,
-                                                                0)));
+    const std::size_t pruner_cap =
+        static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_) *
+        static_cast<std::size_t>(2 + std::max(max_mult_, 0));
+    // The trails dominate the searcher's footprint and are reserved once,
+    // so the governor is charged for the whole reservation up front. A
+    // denied charge skips the reserves entirely; run() then aborts into a
+    // memory outcome before the search starts.
+    gov_ = GovernorScope::current();
+    if (gov_ != nullptr) {
+      const std::size_t bytes = (trail_cap + pruner_cap) * sizeof(TrailEntry);
+      if (gov_->try_charge(bytes)) {
+        gov_charged_ = bytes;
+      } else {
+        gov_->trip("space trail reservation exceeded the memory budget");
+        gov_denied_ = true;
+        return;
+      }
+    }
+    trail_.reserve(trail_cap);
+    trail_reserved_ = trail_.capacity();
+    pruner_trail_.reserve(pruner_cap);
     pruner_trail_reserved_ = pruner_trail_.capacity();
+  }
+
+  ~BitsetSearcher() {
+    if (gov_ != nullptr) gov_->uncharge(gov_charged_);
   }
 
   SpaceResult run() {
     SpaceResult result;
     result.words_per_domain = words_;
     Stopwatch watch;
+    if (gov_denied_) {
+      // The constructor could not reserve the trails within the memory
+      // budget: nothing was proven about the space.
+      result.timed_out = true;
+      result.memory_out = true;
+      result.failure_reason = "space trail reservation exceeded the memory budget";
+      result.seconds = watch.elapsed_s();
+      return result;
+    }
     if (!check_labels(dfg_, arch_, labels_, ii_, result)) {
       result.seconds = watch.elapsed_s();
       return result;
@@ -676,11 +707,21 @@ class BitsetSearcher {
     if (static_cast<int>(depth) + 1 > result.max_depth) {
       result.max_depth = static_cast<int>(depth) + 1;
     }
-    if ((result.nodes_expanded & 0xFFF) == 0 && deadline_.expired()) {
-      result.timed_out = true;
-      result.deadline_expired = true;
-      fail_level_ = -1;
-      return false;
+    if ((result.nodes_expanded & 0xFFF) == 0) {
+      if (deadline_.expired()) {
+        result.timed_out = true;
+        result.deadline_expired = true;
+        fail_level_ = -1;
+        return false;
+      }
+      // Watchdog: some subsystem tripped the shared governor — abort this
+      // walk into the same classified memory outcome.
+      if (gov_ != nullptr && gov_->tripped()) {
+        result.timed_out = true;
+        result.memory_out = true;
+        fail_level_ = -1;
+        return false;
+      }
     }
     if (options_.max_backtracks != 0 &&
         result.backtracks > options_.max_backtracks) {
@@ -815,6 +856,9 @@ class BitsetSearcher {
   std::size_t trail_reserved_ = 0;
   std::vector<TrailEntry> pruner_trail_;
   std::size_t pruner_trail_reserved_ = 0;
+  ResourceGovernor* gov_ = nullptr;  // bound scope at construction time
+  std::size_t gov_charged_ = 0;      // trail reservation bytes charged
+  bool gov_denied_ = false;          // reservation refused: run() aborts
   std::vector<PeId> value_order_;   // global value order (interior-first)
   std::vector<int> value_rank_;     // inverse of value_order_
   std::vector<PeId> cand_arena_;    // per-depth candidate buffers
@@ -1160,6 +1204,7 @@ SpaceResult find_monomorphism(const Dfg& dfg, const CgraArch& arch,
                               const Deadline& deadline) {
   MONOMAP_ASSERT(static_cast<int>(labels.size()) == dfg.num_nodes());
   MONOMAP_ASSERT(ii >= 1);
+  fault::maybe_inject("space.search");
   if (options.engine == SpaceEngine::kReference) {
     return ReferenceSearcher(dfg, arch, labels, ii, options, deadline).run();
   }

@@ -125,6 +125,11 @@ struct SpaceResult {
   /// The *backtrack budget* ran out (subset of timed_out, disjoint from
   /// deadline_expired): the search was cut off having proven nothing.
   bool truncated = false;
+  /// The request's ResourceGovernor denied the searcher's trail reservation
+  /// or tripped mid-search (subset of timed_out): the search was cut off
+  /// having proven nothing, and the caller classifies the run as a
+  /// `memory` outcome rather than a deadline.
+  bool memory_out = false;
   std::vector<PeId> pe;  // per node; valid when found
   std::uint64_t nodes_expanded = 0;
   std::uint64_t backtracks = 0;

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace monomap {
 
 /// Run fn(i) for every i in [0, count) across up to `num_threads` worker
@@ -122,17 +124,30 @@ class WorkStealingPool {
         self >= 0 ? static_cast<std::size_t>(self)
                   : next_external_.fetch_add(1, std::memory_order_relaxed) %
                         queues_.size();
-    {
+    try {
       const std::lock_guard<std::mutex> lock(queues_[target]->m);
       queues_[target]->q.push_back(std::move(task));
+    } catch (...) {
+      // A failed enqueue (allocation failure in push_back) must give the
+      // pending count back, or wait_idle() parks forever on a task that
+      // never existed — and if this was the last outstanding task, the
+      // waiter needs the wake-up the task's completion would have sent.
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(idle_m_);
+        idle_cv_.notify_all();
+      }
+      throw;
     }
     work_cv_.notify_one();
   }
 
   /// Block until every submitted task (including tasks submitted by tasks)
-  /// has finished, then rethrow the first captured task exception, if any.
-  /// Must be called from outside the pool.
-  void wait_idle() {
+  /// has finished — queued tasks keep draining even after a peer's task
+  /// threw — and return the first captured task exception (nullptr when
+  /// every task completed cleanly). Must be called from outside the pool.
+  /// The non-throwing twin of wait_idle() for callers that classify worker
+  /// failures instead of propagating them.
+  [[nodiscard]] std::exception_ptr wait_idle_collect() {
     std::unique_lock<std::mutex> lock(idle_m_);
     idle_cv_.wait(lock, [this] {
       return pending_.load(std::memory_order_acquire) == 0;
@@ -142,12 +157,25 @@ class WorkStealingPool {
       const std::lock_guard<std::mutex> elock(error_m_);
       std::swap(error, first_error_);
     }
-    if (error) std::rethrow_exception(error);
+    return error;
+  }
+
+  /// wait_idle_collect(), rethrowing the collected exception, if any.
+  void wait_idle() {
+    if (std::exception_ptr error = wait_idle_collect()) {
+      std::rethrow_exception(error);
+    }
   }
 
   /// Tasks taken from another worker's deque since construction.
   [[nodiscard]] std::uint64_t steals() const {
     return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks put back on a queue after an injected pool.worker fault fired
+  /// before they ran (see support/fault.hpp).
+  [[nodiscard]] std::uint64_t fault_requeues() const {
+    return fault_requeues_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -194,11 +222,39 @@ class WorkStealingPool {
     std::function<void()> task;
     for (;;) {
       if (try_pop(self, &task)) {
+        // Injected worker fault, fired BEFORE the task runs (the task is
+        // intact): put it back at the end of the own queue and let a later
+        // (or another) worker retry it — one poisoned pickup degrades only
+        // itself. Bounded so a 100%-firing rule cannot livelock the pool.
+        bool requeued = false;
         try {
-          task();
+          fault::maybe_inject("pool.worker");
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_m_);
-          if (!first_error_) first_error_ = std::current_exception();
+          if (fault_requeues_.fetch_add(1, std::memory_order_relaxed) <
+              kMaxFaultRequeues) {
+            const std::lock_guard<std::mutex> lock(
+                queues_[static_cast<std::size_t>(self)]->m);
+            queues_[static_cast<std::size_t>(self)]->q.push_back(
+                std::move(task));
+            requeued = true;
+          } else {
+            const std::lock_guard<std::mutex> lock(error_m_);
+            if (!first_error_) first_error_ = std::current_exception();
+            task = nullptr;  // dropped: the error surfaces via wait_idle
+          }
+        }
+        if (requeued) {
+          task = nullptr;
+          work_cv_.notify_one();
+          continue;  // pending_ untouched: the task is still outstanding
+        }
+        if (task) {
+          try {
+            task();
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_m_);
+            if (!first_error_) first_error_ = std::current_exception();
+          }
         }
         task = nullptr;
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -220,11 +276,16 @@ class WorkStealingPool {
   static thread_local const WorkStealingPool* tls_pool;
   static thread_local int tls_worker;
 
+  /// Ceiling on fault-driven requeues per pool lifetime: generous against
+  /// any realistic periodic rule, small against a livelock.
+  static constexpr std::uint64_t kMaxFaultRequeues = 4096;
+
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> next_external_{0};
   std::atomic<int> pending_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> fault_requeues_{0};
   std::mutex sleep_m_;
   std::condition_variable work_cv_;
   bool stop_ = false;  // guarded by sleep_m_

@@ -1,0 +1,7 @@
+#include "support/resource.hpp"
+
+namespace monomap {
+
+thread_local ResourceGovernor* GovernorScope::current_ = nullptr;
+
+}  // namespace monomap

@@ -79,6 +79,12 @@ class TimeFormulation {
   /// Solve; kUnknown on deadline/conflict budget exhaustion.
   SatStatus solve(const Deadline& deadline);
 
+  /// True when the last solve's kUnknown came from the memory governor
+  /// tripping rather than the deadline (see SatSolver).
+  [[nodiscard]] bool last_solve_memory_out() const {
+    return solver_.last_unknown_was_memory();
+  }
+
   /// Extract the schedule from the current model (solve() returned kSat).
   [[nodiscard]] TimeSolution extract() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "support/fault.hpp"
 
 namespace monomap {
 
@@ -293,6 +294,7 @@ bool TimeSession::extend_horizon() {
 }
 
 SatStatus TimeSession::solve(const Deadline& deadline) {
+  fault::maybe_inject("time.session");
   if (!ok_) return SatStatus::kUnsat;
   // Early-out before touching the solver: a cancelled speculative attempt
   // (its Deadline's token fired) should stop at the next call boundary

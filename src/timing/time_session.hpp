@@ -75,6 +75,12 @@ class TimeSession {
   /// clauses / nogoods made the formula unsatisfiable outright).
   [[nodiscard]] bool unsat_is_final() const;
 
+  /// True when the last solve's kUnknown came from the memory governor
+  /// tripping rather than the deadline (see SatSolver).
+  [[nodiscard]] bool last_solve_memory_out() const {
+    return solver_.last_unknown_was_memory();
+  }
+
   /// Extract the schedule from the current model (solve() returned kSat).
   [[nodiscard]] TimeSolution extract() const;
 

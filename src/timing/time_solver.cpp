@@ -261,6 +261,11 @@ std::optional<TimeSolution> TimeSolver::next(const Deadline& deadline) {
     }
     if (status == SatStatus::kUnknown) {
       timed_out_ = true;
+      if (incremental ? (session_ && session_->last_solve_memory_out())
+                      : (formulation_ &&
+                         formulation_->last_solve_memory_out())) {
+        memory_out_ = true;
+      }
       return std::nullopt;
     }
     // UNSAT: exhaust this instance, move on. A session refutation that did

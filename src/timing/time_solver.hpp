@@ -128,7 +128,13 @@ class TimeSolver {
   bool add_cross_ii_nogood(std::vector<std::pair<NodeId, int>> placements);
 
   [[nodiscard]] int current_ii() const { return ii_; }
+  /// Effective inclusive II ceiling (options.max_ii, or the automatic
+  /// max(mII, #nodes) when unset).
+  [[nodiscard]] int max_ii() const { return max_ii_; }
   [[nodiscard]] bool timed_out() const { return timed_out_; }
+  /// Subset of timed_out(): the stop came from the memory governor
+  /// tripping, not the deadline — callers classify it as `memory`.
+  [[nodiscard]] bool memory_out() const { return memory_out_; }
   [[nodiscard]] const MiiBreakdown& mii() const { return mii_; }
   [[nodiscard]] const TimeSolverStats& stats() const { return stats_; }
 
@@ -158,6 +164,7 @@ class TimeSolver {
   bool last_blocked_by_nogood_ = false;
   bool instance_ok_ = false;
   bool timed_out_ = false;
+  bool memory_out_ = false;
   TimeSolverStats stats_;
 };
 

@@ -83,6 +83,34 @@ def check_metric(fresh, base, metric, max_ratio):
     return median(ratios), worst[0], worst[1], len(ratios)
 
 
+def note_outcome_counters(fresh, base):
+    """Robustness telemetry riding on bench rows: outcome/degraded/
+    fault_retries (time records) and memory_out (space records). Tolerated
+    when the baseline predates them (first recording), but noted; a fresh
+    row that did not end clean/feasible is also noted loudly, since its
+    timing reflects a cut-short run, not the search being measured."""
+    new_fields = []
+    unclean = []
+    for label in sorted(fresh):
+        row = fresh[label]
+        base_row = base.get(label)
+        for field in ("outcome", "degraded", "fault_retries", "memory_out"):
+            if field in row and (base_row is None or field not in base_row):
+                if field not in new_fields:
+                    new_fields.append(field)
+        if (row.get("outcome") not in (None, "feasible")
+                or row.get("degraded") or row.get("fault_retries")
+                or row.get("memory_out")):
+            unclean.append(label)
+    if new_fields:
+        print(f"note: fresh rows carry outcome counter(s) {new_fields} "
+              f"absent from the baseline; tolerated (first recording)")
+    if unclean:
+        print(f"note: {len(unclean)} fresh row(s) did not end clean/feasible "
+              f"(degraded, faulted, memory-shed or budget-cut): "
+              f"{unclean[:5]}{'...' if len(unclean) > 5 else ''}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="fresh --json run")
@@ -121,6 +149,8 @@ def main():
     if added:
         print(f"note: {len(added)} fresh row(s) have no baseline yet: "
               f"{added[:5]}{'...' if len(added) > 5 else ''}")
+
+    note_outcome_counters(fresh, base)
 
     # Deterministic effort counters are machine-independent; check whichever
     # one this record family carries alongside the primary metric.

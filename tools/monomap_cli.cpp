@@ -24,6 +24,8 @@
 #include "mapper/decoupled_mapper.hpp"
 #include "mapper/reg_pressure.hpp"
 #include "sched/mobility.hpp"
+#include "support/fault.hpp"
+#include "support/outcome.hpp"
 #include "support/table.hpp"
 #include "workloads/suite.hpp"
 
@@ -47,6 +49,10 @@ struct CliOptions {
   bool adaptive_budget = true;
   bool distance2 = true;
   bool backjump = true;
+  bool anytime = false;         // degrade to the best feasible mapping
+  int max_schedules = 0;        // deterministic work budget (0 = off)
+  std::uint64_t mem_budget_mb = 0;  // governor budget (0 = unlimited)
+  std::string faults;           // fault-injection spec (empty = off)
   std::string out;
 };
 
@@ -62,7 +68,12 @@ struct CliOptions {
       "      [--lookahead N] [--share-nogoods]\n"
       "      [--space-budget N] [--shrink-divisor N] [--no-adaptive-budget]\n"
       "      [--no-distance2] [--no-backjump] [--restricted] [--out FILE]\n"
-      "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n";
+      "      [--anytime] [--max-schedules N] [--mem-budget-mb N]\n"
+      "      [--faults SPEC]   (SPEC: site=kind@period[,...][:seed],\n"
+      "                         see docs/robustness.md)\n"
+      "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n"
+      "exit codes (map): 0 feasible, 3 degraded, 4 refuted, 5 deadline,\n"
+      "                  6 memory, 7 fault, 8 cancelled\n";
   std::exit(2);
 }
 
@@ -133,6 +144,14 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       opt.distance2 = false;
     } else if (arg == "--no-backjump") {
       opt.backjump = false;
+    } else if (arg == "--anytime") {
+      opt.anytime = true;
+    } else if (arg == "--max-schedules") {
+      opt.max_schedules = std::atoi(value().c_str());
+    } else if (arg == "--mem-budget-mb") {
+      opt.mem_budget_mb = parse_u64(value(), "--mem-budget-mb");
+    } else if (arg == "--faults") {
+      opt.faults = value();
     } else if (arg == "--restricted") {
       opt.restricted = true;
     } else if (arg == "--out") {
@@ -176,6 +195,15 @@ int cmd_show(const std::string& spec) {
 }
 
 int cmd_map(const std::string& spec, const CliOptions& opt) {
+  if (!opt.faults.empty()) {
+    std::string error;
+    const auto plan = fault::parse_fault_spec(opt.faults, &error);
+    if (!plan.has_value()) {
+      std::cerr << "--faults: " << error << '\n';
+      return 2;
+    }
+    fault::install_faults(*plan);
+  }
   const Dfg dfg = load_dfg(spec);
   const CgraArch arch(opt.grid, opt.grid, opt.topology);
   std::cout << "mapping '" << dfg.name() << "' onto " << arch.description()
@@ -184,6 +212,9 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   std::optional<Mapping> mapping;
   int ii = 0;
   double seconds = 0.0;
+  // Outcome-taxonomy exit code (decoupled-family mappers); the legacy
+  // coupled/anneal paths keep the historical 0/1.
+  std::optional<int> exit_override;
   if (opt.mapper == "decoupled" || opt.mapper == "portfolio" ||
       opt.mapper == "speculative") {
     DecoupledMapperOptions mopt;
@@ -192,6 +223,9 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
     mopt.adaptive_space_budget = opt.adaptive_budget;
     mopt.space.distance2_filter = opt.distance2;
     mopt.space.backjumping = opt.backjump;
+    mopt.anytime = opt.anytime;
+    mopt.max_schedules = opt.max_schedules;
+    mopt.memory_budget_mb = opt.mem_budget_mb;
     if (opt.space_budget_set) {
       mopt.space.max_backtracks = opt.space_budget;  // 0 = unlimited
     }
@@ -235,6 +269,22 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
               << r.budget_extensions << "/-" << r.budget_shrinks
               << " (time " << format_time_s(r.time_phase_s) << " s, space "
               << format_time_s(r.space_phase_s) << " s)\n";
+    std::cout << "outcome: " << to_string(r.outcome) << ", sound II interval ["
+              << r.ii_lo << ", "
+              << (r.ii_hi > 0 ? std::to_string(r.ii_hi) : std::string("inf"))
+              << "]";
+    if (r.fault_retries > 0) {
+      std::cout << ", " << r.fault_retries << " fault retries";
+    }
+    if (r.mem_peak_bytes > 0) {
+      std::cout << ", mem peak " << (r.mem_peak_bytes >> 10) << " KiB, "
+                << r.mem_sheds << " sheds";
+    }
+    std::cout << '\n';
+    if (!r.causes.empty()) {
+      std::cout << "causes: " << format_causes(r.causes) << '\n';
+    }
+    exit_override = exit_code(r.outcome);
     seconds = r.total_s;
   } else if (opt.mapper == "coupled") {
     CoupledMapperOptions mopt;
@@ -261,7 +311,7 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   } else {
     usage();
   }
-  if (!mapping.has_value()) return 1;
+  if (!mapping.has_value()) return exit_override.value_or(1);
 
   std::cout << "II=" << ii << " in " << format_time_s(seconds) << " s\n"
             << mapping_to_string(dfg, arch, *mapping)
@@ -272,7 +322,7 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
     out << mapping_to_text(dfg, *mapping);
     std::cout << "mapping written to " << opt.out << '\n';
   }
-  return 0;
+  return exit_override.value_or(0);
 }
 
 int cmd_check(const std::string& spec, const std::string& mapping_file,
