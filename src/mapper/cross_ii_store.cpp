@@ -88,6 +88,25 @@ bool CrossIiNogoodStore::add(int source_ii, const std::vector<NodeId>& nodes,
   return true;
 }
 
+bool CrossIiNogoodStore::add_cert(SlotPartitionCert cert) {
+  if (cert.blocks.empty() || cert.blocks.size() != cert.block_slots.size()) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(m_);
+  if (!seen_.insert(cert.blocks).second) return false;
+  if (gov_ != nullptr) {
+    const std::size_t bytes = cert_bytes(cert);
+    while (!gov_->try_charge(bytes)) {
+      if (certs_.empty()) return false;
+      gov_->note_shed();
+      evict_front_locked();
+    }
+    gov_charged_ += bytes;
+  }
+  certs_.push_back(std::move(cert));
+  return true;
+}
+
 CrossIiNogoodStore::~CrossIiNogoodStore() {
   if (gov_ != nullptr) gov_->uncharge(gov_charged_);
 }

@@ -88,6 +88,15 @@ class CrossIiNogoodStore {
   bool add(int source_ii, const std::vector<NodeId>& nodes,
            const std::vector<int>& labels);
 
+  /// Insert an already-canonical certificate (blocks sorted internally and
+  /// ordered by first node) — the KnowledgeStore seeding path, which
+  /// replays certificates learned by previous requests. Pass source_ii = 0
+  /// ("foreign") so every attempt instantiates its rotation clauses: the
+  /// skip-own-II shortcut in the mapping loop assumes same-II certificates
+  /// were already lifted by the session that learned them, which is false
+  /// for seeded ones. Returns false on duplicate partition.
+  bool add_cert(SlotPartitionCert cert);
+
   /// Append every certificate added since `*cursor` to `out` and advance
   /// the cursor. A fresh cursor of 0 drains the full store. Certificates
   /// evicted under memory pressure before this reader reached them are

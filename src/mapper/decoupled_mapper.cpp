@@ -271,6 +271,108 @@ MapResult DecoupledMapper::map_at_ii(const Dfg& dfg, const CgraArch& arch,
   return result;
 }
 
+MapResult DecoupledMapper::map_warm(const Dfg& dfg, const CgraArch& arch,
+                                    const Deadline& deadline,
+                                    CrossIiNogoodStore* store,
+                                    int refuted_floor) const {
+  std::unique_ptr<ResourceGovernor> owned_gov =
+      make_request_governor(options_.memory_budget_mb);
+  const GovernorScope scope(owned_gov.get());
+  ResourceGovernor* gov = GovernorScope::current();
+
+  MapResult aggregate;   // counters of the non-final attempts
+  MapResult final_result;
+  int floor = std::max(0, refuted_floor);
+  int ii = floor + 1;
+  int cap = options_.time.max_ii;  // 0 = unknown until the first attempt
+  int retries = 0;
+  bool first = true;
+  for (;;) {
+    MapResult attempt;
+    bool retryable = false;
+    try {
+      DecoupledMapperOptions per = options_;
+      if (options_.max_schedules > 0) {
+        // The schedule budget spans the whole walk, like map()'s.
+        per.max_schedules =
+            options_.max_schedules - aggregate.schedules_tried;
+        if (per.max_schedules <= 0) {
+          final_result.timed_out = true;
+          final_result.failure_reason = "schedule budget exhausted";
+          final_result.causes.push_back(
+              {"budget", "schedule budget exhausted"});
+          break;
+        }
+      }
+      attempt = DecoupledMapper(per).map_at_ii(dfg, arch, ii, deadline,
+                                               store);
+    } catch (const fault::FaultInjectedError& e) {
+      attempt = MapResult{};
+      attempt.faulted = true;
+      attempt.timed_out = true;
+      attempt.failure_reason = std::string("injected fault: ") + e.what();
+      attempt.causes.push_back({e.site(), "injected fault"});
+      retryable = true;
+    } catch (const std::bad_alloc&) {
+      attempt = MapResult{};
+      attempt.memory_out = true;
+      attempt.timed_out = true;
+      attempt.failure_reason = "allocation failure";
+      attempt.causes.push_back({"alloc", "allocation failure"});
+      retryable = true;
+    }
+    if (retryable) {
+      if (retries >= options_.max_fault_retries ||
+          !fault::backoff_sleep(deadline, retries)) {
+        attempt.fault_retries = retries;
+        attempt.cancelled = deadline.cancel_fired();
+        final_result = std::move(attempt);
+        break;
+      }
+      ++retries;
+      continue;  // retry the same II
+    }
+    if (first) {
+      first = false;
+      final_result.mii = attempt.mii;
+      if (cap <= 0) {
+        cap = std::max(attempt.mii.mii(), std::max(1, dfg.num_nodes()));
+      }
+    }
+    const int mii = attempt.mii.mii();
+    if (attempt.success || attempt.timed_out) {
+      const MiiBreakdown walk_mii = final_result.mii;
+      final_result = std::move(attempt);
+      final_result.mii = walk_mii;
+      break;
+    }
+    // Refuted at this II. IIs below mII are refuted by the bound itself,
+    // so a pinned attempt below it closes the whole gap in one step.
+    const int closed_up_to = mii > ii ? mii - 1 : ii;
+    if (attempt.sound_refutation && ii == floor + 1) {
+      floor = closed_up_to;
+    }
+    const int next_ii = std::max(ii + 1, mii);
+    if (next_ii > cap) {
+      const MiiBreakdown walk_mii = final_result.mii;
+      final_result = std::move(attempt);
+      final_result.mii = walk_mii;
+      final_result.success = false;
+      final_result.timed_out = false;
+      final_result.failure_reason = "warm walk exhausted the II range";
+      break;
+    }
+    merge_attempt_counters(aggregate, attempt);
+    ii = next_ii;
+  }
+  merge_attempt_counters(final_result, aggregate);
+  final_result.fault_retries += retries;
+  final_result.ii_refuted_up_to = floor;
+  absorb_governor(final_result, gov);
+  finalize_outcome(final_result);
+  return final_result;
+}
+
 void DecoupledMapper::run_mapping_loop(const Dfg& dfg, const CgraArch& arch,
                                        const Deadline& deadline,
                                        TimeSolver& time_solver,

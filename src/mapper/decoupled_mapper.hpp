@@ -277,6 +277,22 @@ class DecoupledMapper {
                       const Deadline& deadline,
                       CrossIiNogoodStore* store = nullptr) const;
 
+  /// Warm-started sequential walk for the cross-request knowledge layer:
+  /// II rises one at a time from max(refuted_floor + 1, mII) via pinned
+  /// map_at_ii attempts that share `store` — seeded certificates prune
+  /// schedules through the usual rotation-clause + prefilter channel, and
+  /// refutations this walk finds are published back into `store` for the
+  /// caller to harvest. `refuted_floor` must be sound (every II <= floor
+  /// refuted by natural exhaustion — the KnowledgeStore only records such
+  /// floors), and the walk keeps the same contiguous sound-refutation
+  /// accounting as map(): the result's ii_refuted_up_to never exceeds a
+  /// sound refutation. With a null store and floor 0 this is the
+  /// per-II replay of sequential map() (same per-II policy, same answer).
+  MapResult map_warm(const Dfg& dfg, const CgraArch& arch,
+                     const Deadline& deadline,
+                     CrossIiNogoodStore* store = nullptr,
+                     int refuted_floor = 0) const;
+
   /// Speculative cross-II race: while the lowest unresolved II is still in
   /// its space/time loop, II+1..II+lookahead already run on spare threads.
   /// Deterministic commit rule: a feasible II is returned only once every

@@ -1,0 +1,290 @@
+#include "mapper/fingerprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <utility>
+
+namespace monomap {
+namespace {
+
+constexpr std::uint64_t kSeedA = 0x6d6f6e6f6d61702bULL;  // "monomap+"
+constexpr std::uint64_t kSeedB = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kIndividualize = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kDefaultBudget = 4'000'000;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Budgeted individualisation-refinement canonical search. Every quantity
+/// that steers it (colours, cell choice, budget spend) is a function of the
+/// graph's structure only, so isomorphic copies take identical paths —
+/// including the abort path.
+class CanonSearch {
+ public:
+  CanonSearch(const Dfg& dfg, std::uint64_t budget)
+      : dfg_(dfg), n_(dfg.num_nodes()), budget_(budget) {}
+
+  bool exhausted() const { return exhausted_; }
+  bool have_best() const { return have_best_; }
+  const std::array<std::uint64_t, 2>& best_sig() const { return best_sig_; }
+  std::vector<NodeId> take_best_perm() { return std::move(best_perm_); }
+
+  /// Refine `color` to a fixpoint of WL splitting. Returns false when the
+  /// budget ran out (exhausted_ is then latched).
+  bool refine(std::vector<std::uint64_t>& color) {
+    std::vector<int> prev = cells(color);
+    std::vector<std::uint64_t> parts;
+    std::vector<std::uint64_t> next(static_cast<std::size_t>(n_));
+    for (;;) {
+      if (!spend(static_cast<std::uint64_t>(n_))) {
+        return false;
+      }
+      for (NodeId v = 0; v < n_; ++v) {
+        parts.clear();
+        for (EdgeId e : dfg_.graph().out_edges(v)) {
+          const Edge& edge = dfg_.graph().edge(e);
+          parts.push_back(fold(
+              fold(0x0f0f0f0f0f0f0f0fULL,
+                   static_cast<std::uint64_t>(edge.attr) + 1),
+              color[static_cast<std::size_t>(edge.dst)]));
+        }
+        for (EdgeId e : dfg_.graph().in_edges(v)) {
+          const Edge& edge = dfg_.graph().edge(e);
+          parts.push_back(fold(
+              fold(0xf0f0f0f0f0f0f0f0ULL,
+                   static_cast<std::uint64_t>(edge.attr) + 1),
+              color[static_cast<std::size_t>(edge.src)]));
+        }
+        std::sort(parts.begin(), parts.end());
+        std::uint64_t h = color[static_cast<std::size_t>(v)];
+        for (std::uint64_t p : parts) {
+          h = fold(h, p);
+        }
+        next[static_cast<std::size_t>(v)] = h;
+      }
+      color.swap(next);
+      std::vector<int> cur = cells(color);
+      if (cur == prev) {
+        return true;  // partition stable: refinement is at its fixpoint
+      }
+      prev = std::move(cur);
+    }
+  }
+
+  void search(std::vector<std::uint64_t> color) {
+    if (exhausted_) {
+      return;
+    }
+    if (!refine(color)) {
+      return;
+    }
+    // Pick the target cell: smallest non-singleton cell, ties broken by
+    // smallest colour value. Colour values are equal on corresponding
+    // nodes of isomorphic copies, so the choice is iso-invariant.
+    std::map<std::uint64_t, int> count;
+    for (std::uint64_t c : color) {
+      ++count[c];
+    }
+    std::uint64_t target = 0;
+    int target_size = n_ + 1;
+    for (const auto& [c, k] : count) {
+      if (k > 1 && k < target_size) {
+        target = c;
+        target_size = k;
+      }
+    }
+    if (target_size > n_) {
+      leaf(color);
+      return;
+    }
+    for (NodeId v = 0; v < n_ && !exhausted_; ++v) {
+      if (color[static_cast<std::size_t>(v)] != target) {
+        continue;
+      }
+      std::vector<std::uint64_t> child = color;
+      child[static_cast<std::size_t>(v)] =
+          mix64(child[static_cast<std::size_t>(v)] ^ kIndividualize);
+      search(std::move(child));
+    }
+  }
+
+ private:
+  bool spend(std::uint64_t steps) {
+    if (exhausted_ || budget_ < steps) {
+      exhausted_ = true;
+      return false;
+    }
+    budget_ -= steps;
+    return true;
+  }
+
+  /// Cell labels in first-occurrence order — equal vectors iff the two
+  /// colourings induce the same partition (value-independent, so the
+  /// refinement fixpoint test ignores the hash churn per round).
+  std::vector<int> cells(const std::vector<std::uint64_t>& color) const {
+    std::vector<int> part(static_cast<std::size_t>(n_));
+    std::map<std::uint64_t, int> id;
+    for (NodeId v = 0; v < n_; ++v) {
+      auto [it, inserted] =
+          id.try_emplace(color[static_cast<std::size_t>(v)],
+                         static_cast<int>(id.size()));
+      part[static_cast<std::size_t>(v)] = it->second;
+    }
+    return part;
+  }
+
+  /// Discrete colouring: hash the induced canonical form, keep the minimum.
+  void leaf(const std::vector<std::uint64_t>& color) {
+    if (!spend(static_cast<std::uint64_t>(n_))) {
+      return;
+    }
+    std::vector<NodeId> order(static_cast<std::size_t>(n_));
+    for (NodeId v = 0; v < n_; ++v) {
+      order[static_cast<std::size_t>(v)] = v;
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return color[static_cast<std::size_t>(a)] <
+             color[static_cast<std::size_t>(b)];
+    });
+    std::vector<NodeId> perm(static_cast<std::size_t>(n_));
+    for (int pos = 0; pos < n_; ++pos) {
+      perm[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] =
+          pos;
+    }
+    std::array<std::uint64_t, 2> sig{kSeedA, kSeedB};
+    auto fold2 = [&sig](std::uint64_t v) {
+      sig[0] = fold(sig[0], v);
+      sig[1] = fold(sig[1], mix64(v ^ 0xabcdef0123456789ULL));
+    };
+    fold2(static_cast<std::uint64_t>(n_));
+    fold2(static_cast<std::uint64_t>(dfg_.num_edges()));
+    std::vector<std::pair<int, int>> outs;
+    for (int pos = 0; pos < n_; ++pos) {
+      const NodeId v = order[static_cast<std::size_t>(pos)];
+      fold2(static_cast<std::uint64_t>(dfg_.opcode(v)));
+      outs.clear();
+      for (EdgeId e : dfg_.graph().out_edges(v)) {
+        const Edge& edge = dfg_.graph().edge(e);
+        outs.emplace_back(perm[static_cast<std::size_t>(edge.dst)],
+                          edge.attr);
+      }
+      std::sort(outs.begin(), outs.end());
+      fold2(0x5e5e5e5e'00000000ULL + outs.size());
+      for (const auto& [dst, attr] : outs) {
+        fold2((static_cast<std::uint64_t>(dst) << 20) ^
+              static_cast<std::uint64_t>(attr));
+      }
+    }
+    if (!have_best_ || sig < best_sig_) {
+      have_best_ = true;
+      best_sig_ = sig;
+      best_perm_ = std::move(perm);
+    }
+  }
+
+  const Dfg& dfg_;
+  const int n_;
+  std::uint64_t budget_;
+  bool exhausted_ = false;
+  bool have_best_ = false;
+  std::array<std::uint64_t, 2> best_sig_{};
+  std::vector<NodeId> best_perm_;
+};
+
+std::vector<std::uint64_t> initial_colors(const Dfg& dfg) {
+  std::vector<std::uint64_t> color(
+      static_cast<std::size_t>(dfg.num_nodes()));
+  for (NodeId v = 0; v < dfg.num_nodes(); ++v) {
+    color[static_cast<std::size_t>(v)] =
+        mix64(0x1234'5678'9abc'def0ULL ^
+              static_cast<std::uint64_t>(dfg.opcode(v)));
+  }
+  return color;
+}
+
+}  // namespace
+
+DfgFingerprint fingerprint_dfg(const Dfg& dfg, std::uint64_t budget) {
+  if (budget == 0) {
+    budget = kDefaultBudget;
+  }
+  const int n = dfg.num_nodes();
+  DfgFingerprint fp;
+
+  // Exact (node-id-sensitive) hash: opcodes in id order + sorted edge list.
+  {
+    std::uint64_t h = fold(kSeedA, static_cast<std::uint64_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      h = fold(h, static_cast<std::uint64_t>(dfg.opcode(v)));
+    }
+    std::vector<std::array<int, 3>> edges;
+    edges.reserve(static_cast<std::size_t>(dfg.num_edges()));
+    for (EdgeId e = 0; e < dfg.num_edges(); ++e) {
+      const Edge& edge = dfg.graph().edge(e);
+      edges.push_back({edge.src, edge.dst, edge.attr});
+    }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& edge : edges) {
+      h = fold(fold(fold(h, static_cast<std::uint64_t>(edge[0])),
+                    static_cast<std::uint64_t>(edge[1])),
+               static_cast<std::uint64_t>(edge[2]) + 1);
+    }
+    fp.exact = h;
+  }
+
+  CanonSearch canon(dfg, budget);
+  std::vector<std::uint64_t> color = initial_colors(dfg);
+
+  // The stable WL colouring doubles as the fallback iso-hash source, so
+  // compute it once up front; search() re-refines no-op-fast from here.
+  std::vector<std::uint64_t> stable = color;
+  const bool refined = canon.refine(stable);
+  if (refined) {
+    canon.search(stable);
+  }
+  if (!canon.exhausted() && canon.have_best()) {
+    fp.canonical = true;
+    fp.iso_hi = canon.best_sig()[0];
+    fp.iso_lo = canon.best_sig()[1];
+    fp.canon = canon.take_best_perm();
+    return fp;
+  }
+
+  // Budget blown: fall back to the WL colour-multiset hash of the deepest
+  // refinement we completed (the initial colouring when even round one was
+  // over budget). Still iso-invariant; no transfer permutation.
+  const std::vector<std::uint64_t>& base = refined ? stable : color;
+  std::vector<std::uint64_t> sorted = base;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t hi = fold(kSeedA, static_cast<std::uint64_t>(n));
+  std::uint64_t lo = fold(kSeedB, static_cast<std::uint64_t>(dfg.num_edges()));
+  for (std::uint64_t c : sorted) {
+    hi = fold(hi, c);
+    lo = fold(lo, mix64(c ^ 0xabcdef0123456789ULL));
+  }
+  fp.canonical = false;
+  fp.iso_hi = hi;
+  fp.iso_lo = lo;
+  return fp;
+}
+
+std::uint64_t fingerprint_arch(const CgraArch& arch) {
+  std::uint64_t h = fold(kSeedB, static_cast<std::uint64_t>(arch.rows()));
+  h = fold(h, static_cast<std::uint64_t>(arch.cols()));
+  h = fold(h, static_cast<std::uint64_t>(arch.topology()));
+  return h;
+}
+
+}  // namespace monomap

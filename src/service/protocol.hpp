@@ -1,0 +1,59 @@
+// Wire protocol of the mapping service: newline-delimited JSON.
+//
+// One request object per line; the service answers with exactly one JSON
+// object per request, in order per connection. Verbs:
+//
+//   {"verb":"map", "id":..., "bench":"fft"|"dfg":"dfg ...\n...",
+//    "grid":4|"rows":R,"cols":C, "topology":"mesh|torus|diagonal",
+//    "deadline_s":S, "warm":bool, "memo":bool, "anytime":bool,
+//    "max_schedules":N, "max_ii":N, "mapping":bool}
+//   {"verb":"stats", "id":...}
+//   {"verb":"shutdown", "id":...}
+//
+// Defaults: memo/warm follow the service configuration; the others are
+// off/0. `mapping:true` asks for the placement text in the response.
+// Unknown fields are ignored (forward compatibility); a missing or
+// unknown verb, unparsable JSON, or an inconsistent body is a protocol
+// error — answered with {"ok":false,"error":...}, never a dropped
+// connection.
+#ifndef MONOMAP_SERVICE_PROTOCOL_HPP
+#define MONOMAP_SERVICE_PROTOCOL_HPP
+
+#include <string>
+
+#include "arch/cgra.hpp"
+
+namespace monomap {
+
+struct ServeRequest {
+  enum class Verb { kMap, kStats, kShutdown };
+  Verb verb = Verb::kMap;
+  std::string id;        // echoed verbatim in the response (as a string)
+  std::string bench;     // workload-suite benchmark name, or empty
+  std::string dfg_text;  // io/dfg_io format, or empty
+  int rows = 4;
+  int cols = 4;
+  Topology topology = Topology::kMesh;
+  double deadline_s = 0.0;  // <= 0: the service default
+  /// Tri-state toggles: -1 = service default, 0 = off, 1 = on.
+  int warm = -1;
+  int memo = -1;
+  bool anytime = false;
+  int max_schedules = 0;
+  int max_ii = 0;
+  bool want_mapping = false;
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  std::string error;  // set when !ok
+  ServeRequest request;
+};
+
+/// Parse one request line. Never throws; malformed input comes back as
+/// ok = false with a one-line reason.
+ParsedRequest parse_request(const std::string& line);
+
+}  // namespace monomap
+
+#endif  // MONOMAP_SERVICE_PROTOCOL_HPP

@@ -1,0 +1,44 @@
+#include "support/argparse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace monomap::argparse {
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_int(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strtod via a NUL-terminated copy: std::from_chars<double> is the
+  // obvious tool but its full-string check is the same either way.
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace monomap::argparse

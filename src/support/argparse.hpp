@@ -1,0 +1,29 @@
+// Strict numeric CLI-argument parsing shared by the tools.
+//
+// std::atoi silently turns garbage into 0, which for flags like
+// --max-schedules means "unlimited" — the opposite of what a typo'd value
+// should do. These helpers accept the full string or nothing: any
+// non-numeric suffix, overflow, or empty input is a parse failure the
+// caller turns into exit code 2 + usage, the same contract malformed
+// --faults specs already follow.
+#ifndef MONOMAP_SUPPORT_ARGPARSE_HPP
+#define MONOMAP_SUPPORT_ARGPARSE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace monomap::argparse {
+
+/// Parse a non-negative integer; false on empty/garbage/overflow/negative.
+bool parse_u64(std::string_view text, std::uint64_t* out);
+
+/// Parse a (possibly negative) integer fitting in int.
+bool parse_int(std::string_view text, int* out);
+
+/// Parse a finite double (strtod grammar, but the whole string must
+/// consume).
+bool parse_double(std::string_view text, double* out);
+
+}  // namespace monomap::argparse
+
+#endif  // MONOMAP_SUPPORT_ARGPARSE_HPP

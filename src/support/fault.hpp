@@ -7,6 +7,7 @@
 //   space.search  — find_monomorphism entry
 //   time.session  — TimeSession::solve entry
 //   pool.worker   — WorkStealingPool, before each task runs
+//   serve.request — MappingService, at the top of every daemon worker job
 //
 // With no plan installed a site is one relaxed atomic load — effectively
 // free. A plan arms per-site rules of the form kind@period: every period-th

@@ -1,0 +1,97 @@
+// Minimal JSON value parser + string escaping for the serving layer.
+//
+// The daemon's wire format is newline-delimited JSON objects; requests are
+// small and flat, so this is a straightforward recursive-descent parser
+// into a variant tree — no external dependency, no streaming. Responses
+// are assembled with ordinary string concatenation plus json_escape()
+// (bench/bench_json.hpp remains the writer for the bench emitters).
+//
+// Numbers are held as double (the protocol's integers are all well inside
+// the 2^53 exact range). Parse errors return std::nullopt rather than
+// throwing: a malformed request line is an expected input, not an
+// exceptional state.
+#ifndef MONOMAP_SUPPORT_JSON_HPP
+#define MONOMAP_SUPPORT_JSON_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monomap::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return *arr_; }
+  [[nodiscard]] const Object& as_object() const { return *obj_; }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+
+  // Typed member accessors with defaults — the request-decoding idiom.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_number() ? v->num_ : dflt;
+  }
+  [[nodiscard]] bool bool_or(const std::string& key, bool dflt) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_bool() ? v->bool_ : dflt;
+  }
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string dflt) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_string() ? v->str_ : std::move(dflt);
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse one JSON document; std::nullopt on any syntax error or trailing
+/// garbage (surrounding whitespace is fine).
+std::optional<Value> parse(std::string_view text);
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string escape(std::string_view s);
+
+}  // namespace monomap::json
+
+#endif  // MONOMAP_SUPPORT_JSON_HPP

@@ -10,6 +10,7 @@
 //       Compile a DFG and print (or save) the mapping.
 //   monomap check <bench|file.dfg> <mapping.txt> [--grid N] [...]
 //       Validate a saved mapping against a DFG and architecture.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -24,6 +25,7 @@
 #include "mapper/decoupled_mapper.hpp"
 #include "mapper/reg_pressure.hpp"
 #include "sched/mobility.hpp"
+#include "support/argparse.hpp"
 #include "support/fault.hpp"
 #include "support/outcome.hpp"
 #include "support/table.hpp"
@@ -71,6 +73,10 @@ struct CliOptions {
       "      [--anytime] [--max-schedules N] [--mem-budget-mb N]\n"
       "      [--faults SPEC]   (SPEC: site=kind@period[,...][:seed],\n"
       "                         see docs/robustness.md)\n"
+      "  batch <bench|file.dfg>... [--grid N] [--topology T] [--timeout S]\n"
+      "      [--threads N] [--max-schedules N] [--anytime] [--faults SPEC]\n"
+      "      (shared deadline; prints per-case results and the batch\n"
+      "       outcome_counts histogram)\n"
       "  check <bench|file.dfg> <mapping.txt> [--grid N] [--topology T]\n"
       "exit codes (map): 0 feasible, 3 degraded, 4 refuted, 5 deadline,\n"
       "                  6 memory, 7 fault, 8 cancelled\n";
@@ -91,13 +97,34 @@ Dfg load_dfg(const std::string& spec) {
   return benchmark_by_name(spec).dfg;
 }
 
+// Strict flag-value parsers: trailing junk, empty strings and overflow are
+// usage errors (exit 2 with a message naming the flag), never a silent
+// atoi-zero that maps the wrong problem.
 std::uint64_t parse_u64(const std::string& s, const char* flag) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
-  if (s.empty() || end == nullptr || *end != '\0') {
+  std::uint64_t v = 0;
+  if (!argparse::parse_u64(s, &v)) {
     std::cerr << flag << ": expected a non-negative integer, got '" << s
               << "'\n";
-    std::exit(2);
+    usage();
+  }
+  return v;
+}
+
+int parse_pos_int(const std::string& s, const char* flag, int min_value) {
+  int v = 0;
+  if (!argparse::parse_int(s, &v) || v < min_value) {
+    std::cerr << flag << ": expected an integer >= " << min_value
+              << ", got '" << s << "'\n";
+    usage();
+  }
+  return v;
+}
+
+double parse_pos_double(const std::string& s, const char* flag) {
+  double v = 0.0;
+  if (!argparse::parse_double(s, &v) || v <= 0.0) {
+    std::cerr << flag << ": expected a positive number, got '" << s << "'\n";
+    usage();
   }
   return v;
 }
@@ -111,7 +138,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       return argv[++i];
     };
     if (arg == "--grid") {
-      opt.grid = std::atoi(value().c_str());
+      opt.grid = parse_pos_int(value(), "--grid", 1);
     } else if (arg == "--topology") {
       const std::string t = value();
       if (t == "mesh") opt.topology = Topology::kMesh;
@@ -119,7 +146,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       else if (t == "diagonal") opt.topology = Topology::kDiagonal;
       else usage();
     } else if (arg == "--timeout") {
-      opt.timeout_s = std::atof(value().c_str());
+      opt.timeout_s = parse_pos_double(value(), "--timeout");
     } else if (arg == "--mapper") {
       opt.mapper = value();
     } else if (arg == "--time-engine") {
@@ -128,9 +155,9 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       else if (e == "reference") opt.time_engine = TimeEngine::kReference;
       else usage();
     } else if (arg == "--threads") {
-      opt.threads = std::atoi(value().c_str());
+      opt.threads = parse_pos_int(value(), "--threads", 0);
     } else if (arg == "--lookahead") {
-      opt.lookahead = std::atoi(value().c_str());
+      opt.lookahead = parse_pos_int(value(), "--lookahead", 1);
     } else if (arg == "--share-nogoods") {
       opt.share_nogoods = true;
     } else if (arg == "--space-budget") {
@@ -147,7 +174,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     } else if (arg == "--anytime") {
       opt.anytime = true;
     } else if (arg == "--max-schedules") {
-      opt.max_schedules = std::atoi(value().c_str());
+      opt.max_schedules = parse_pos_int(value(), "--max-schedules", 0);
     } else if (arg == "--mem-budget-mb") {
       opt.mem_budget_mb = parse_u64(value(), "--mem-budget-mb");
     } else if (arg == "--faults") {
@@ -325,6 +352,62 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
   return exit_override.value_or(0);
 }
 
+int cmd_batch(const std::vector<std::string>& specs, const CliOptions& opt) {
+  if (!opt.faults.empty()) {
+    std::string error;
+    const auto plan = fault::parse_fault_spec(opt.faults, &error);
+    if (!plan.has_value()) {
+      std::cerr << "--faults: " << error << '\n';
+      return 2;
+    }
+    fault::install_faults(*plan);
+  }
+  std::vector<Dfg> dfgs;
+  dfgs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    dfgs.push_back(load_dfg(spec));
+  }
+  std::vector<const Dfg*> ptrs;
+  ptrs.reserve(dfgs.size());
+  for (const Dfg& dfg : dfgs) ptrs.push_back(&dfg);
+  const CgraArch arch(opt.grid, opt.grid, opt.topology);
+
+  DecoupledMapperOptions mopt;
+  mopt.time.engine = opt.time_engine;
+  mopt.anytime = opt.anytime;
+  mopt.max_schedules = opt.max_schedules;
+  mopt.memory_budget_mb = opt.mem_budget_mb;
+  if (opt.restricted) mopt.space.model = MrrgModel::kConsecutiveOnly;
+  const DecoupledMapper mapper(mopt);
+
+  BatchStats stats;
+  const Deadline deadline(opt.timeout_s);
+  const std::vector<MapResult> results =
+      mapper.map_batch(ptrs, arch, deadline, opt.threads, &stats);
+
+  AsciiTable table({"Case", "Outcome", "II", "Schedules", "Time (s)"});
+  int worst = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MapResult& r = results[i];
+    table.add_row({specs[i], to_string(r.outcome),
+                   r.success ? std::to_string(r.ii) : "-",
+                   std::to_string(r.schedules_tried),
+                   format_time_s(r.total_s)});
+    worst = std::max(worst, exit_code(r.outcome));
+  }
+  table.print(std::cout);
+  // The per-batch outcome histogram: every class printed (zeros included)
+  // so scripted callers can grep a stable line.
+  std::cout << "outcome_counts:";
+  for (int o = 0; o < kMapOutcomeCount; ++o) {
+    std::cout << ' ' << to_string(static_cast<MapOutcome>(o)) << '='
+              << stats.outcome_counts[static_cast<std::size_t>(o)];
+  }
+  std::cout << "\npool: " << stats.steals << " steals, "
+            << stats.fault_requeues << " fault requeues\n";
+  return worst;
+}
+
 int cmd_check(const std::string& spec, const std::string& mapping_file,
               const CliOptions& opt) {
   const Dfg dfg = load_dfg(spec);
@@ -362,6 +445,16 @@ int main(int argc, char** argv) {
     if (cmd == "show" && argc >= 3) return cmd_show(argv[2]);
     if (cmd == "map" && argc >= 3) {
       return cmd_map(argv[2], parse_flags(argc, argv, 3));
+    }
+    if (cmd == "batch" && argc >= 3) {
+      std::vector<std::string> specs;
+      int i = 2;
+      while (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+        specs.emplace_back(argv[i]);
+        ++i;
+      }
+      if (specs.empty()) usage();
+      return cmd_batch(specs, parse_flags(argc, argv, i));
     }
     if (cmd == "check" && argc >= 4) {
       return cmd_check(argv[2], argv[3], parse_flags(argc, argv, 4));
