@@ -81,6 +81,9 @@ CgraArch::CgraArch(int rows, int cols, Topology topology)
     for (const PeId q : neighbors_[static_cast<std::size_t>(pe)]) {
       ball |= closed_neighbor_masks_[static_cast<std::size_t>(q)];
     }
+    const int size = ball.count();
+    d2_ball_min_ = pe == 0 ? size : std::min(d2_ball_min_, size);
+    d2_ball_max_ = std::max(d2_ball_max_, size);
     distance2_masks_.push_back(std::move(ball));
   }
 
@@ -98,6 +101,45 @@ CgraArch::CgraArch(int rows, int cols, Topology topology)
     }
     min_degree_masks_.push_back(std::move(mask));
   }
+}
+
+const std::vector<PeSet>& CgraArch::common_target_masks(int min_common) const {
+  MONOMAP_ASSERT(min_common >= 1);
+  std::lock_guard<std::mutex> lock(common_target_mutex_);
+  auto it = common_target_cache_.find(min_common);
+  if (it == common_target_cache_.end()) {
+    std::vector<PeSet> masks;
+    masks.reserve(static_cast<std::size_t>(num_pes()));
+    for (PeId p = 0; p < num_pes(); ++p) {
+      masks.push_back(common_target_mask(p, min_common));
+    }
+    it = common_target_cache_.emplace(min_common, std::move(masks)).first;
+  }
+  return it->second;
+}
+
+const std::vector<PeId>& CgraArch::interior_first_order() const {
+  std::lock_guard<std::mutex> lock(common_target_mutex_);
+  if (interior_order_.empty()) {
+    interior_order_.reserve(static_cast<std::size_t>(num_pes()));
+    for (PeId p = 0; p < num_pes(); ++p) interior_order_.push_back(p);
+    std::stable_sort(interior_order_.begin(), interior_order_.end(),
+                     [&](PeId a, PeId b) {
+                       return closed_neighbors(a).size() >
+                              closed_neighbors(b).size();
+                     });
+    interior_rank_.assign(static_cast<std::size_t>(num_pes()), 0);
+    for (int i = 0; i < num_pes(); ++i) {
+      interior_rank_[static_cast<std::size_t>(
+          interior_order_[static_cast<std::size_t>(i)])] = i;
+    }
+  }
+  return interior_order_;
+}
+
+const std::vector<int>& CgraArch::interior_first_rank() const {
+  interior_first_order();  // builds both under the lock
+  return interior_rank_;
 }
 
 PeSet CgraArch::common_target_mask(PeId pe, int min_common) const {

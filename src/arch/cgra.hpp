@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,6 +104,26 @@ class CgraArch {
   /// DFG actually contains).
   [[nodiscard]] PeSet common_target_mask(PeId pe, int min_common) const;
 
+  /// All common_target_mask(p, min_common) rows of one level, built on
+  /// first request and memoised for the architecture's lifetime. Searchers
+  /// ask for the same one or two levels on every construction, and the
+  /// per-PE ball probes are the dominant cost of building a searcher on a
+  /// 64x64 fabric — the memo turns that into a one-time charge per arch.
+  /// Thread-safe; the reference stays valid as long as the arch does.
+  [[nodiscard]] const std::vector<PeSet>& common_target_masks(
+      int min_common) const;
+
+  /// PEs sorted by descending closed-neighbourhood size (stable, so
+  /// row-major id order breaks ties): the space searchers' interior-first
+  /// global value order. Memoised like common_target_masks — the
+  /// stable_sort over num_pes is measurable per-searcher construction on a
+  /// 64x64 fabric, and the order is a pure function of the architecture.
+  [[nodiscard]] const std::vector<PeId>& interior_first_order() const;
+
+  /// Inverse permutation of interior_first_order(): rank[pe] = position.
+  /// The searchers order candidate lists by rank lookups.
+  [[nodiscard]] const std::vector<int>& interior_first_rank() const;
+
   /// PEs whose closed neighbourhood holds at least `need` members. The
   /// space search intersects candidate domains with this instead of probing
   /// closed_neighbors(p).size() per PE (the root degree filter). `need`
@@ -127,6 +149,32 @@ class CgraArch {
   /// size over all PEs (3 on a 2x2 mesh, 5 on 3x3-and-larger meshes).
   [[nodiscard]] int connectivity_degree() const { return degree_; }
 
+  /// Grid hop distance between two PEs under this topology: Manhattan on
+  /// the mesh, wrap-aware Manhattan on the torus, Chebyshev on the
+  /// 8-neighbour king mesh. Pure coordinate arithmetic — the space
+  /// searcher's sparse value ordering calls it inside a sort comparator.
+  [[nodiscard]] int grid_distance(PeId a, PeId b) const {
+    MONOMAP_ASSERT(has_pe(a) && has_pe(b));
+    int dr = row_of(a) - row_of(b);
+    int dc = col_of(a) - col_of(b);
+    dr = dr < 0 ? -dr : dr;
+    dc = dc < 0 ? -dc : dc;
+    if (topology_ == Topology::kTorus) {
+      dr = std::min(dr, rows_ - dr);
+      dc = std::min(dc, cols_ - dc);
+    }
+    return topology_ == Topology::kDiagonal ? std::max(dr, dc) : dr + dc;
+  }
+
+  /// Smallest / largest distance-2 ball size (|distance2_mask(pe)|) over
+  /// all PEs: the corner-PE and interior-PE capacities (13 and 7 on a big
+  /// enough plain mesh). Workload generators size satisfiable instances
+  /// against these — any same-label cluster a DFG forces into one ball
+  /// must fit the *interior* capacity to be placeable everywhere, and
+  /// refutation-heavy instances push past the corner capacity.
+  [[nodiscard]] int distance2_ball_min() const { return d2_ball_min_; }
+  [[nodiscard]] int distance2_ball_max() const { return d2_ball_max_; }
+
   [[nodiscard]] std::string description() const;
 
  private:
@@ -134,12 +182,20 @@ class CgraArch {
   int cols_;
   Topology topology_;
   int degree_ = 0;
+  int d2_ball_min_ = 0;
+  int d2_ball_max_ = 0;
   std::vector<std::vector<PeId>> neighbors_;
   std::vector<std::vector<PeId>> closed_neighbors_;
   std::vector<PeSet> neighbor_masks_;
   std::vector<PeSet> closed_neighbor_masks_;
   std::vector<PeSet> distance2_masks_;
   std::vector<PeSet> min_degree_masks_;  // indexed by `need`, 0..degree_+1
+  // common_target_masks memo (arch is shared across threads; the lock is
+  // per-call but the call is once per searcher construction).
+  mutable std::mutex common_target_mutex_;
+  mutable std::map<int, std::vector<PeSet>> common_target_cache_;
+  mutable std::vector<PeId> interior_order_;  // same lock; empty = unbuilt
+  mutable std::vector<int> interior_rank_;
 };
 
 }  // namespace monomap

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <memory>
 
 #include "support/assert.hpp"
 #include "support/fault.hpp"
@@ -17,6 +19,7 @@ const char* to_string(SpaceOrder order) {
     case SpaceOrder::kConnectivity: return "connectivity";
     case SpaceOrder::kDegree: return "degree";
     case SpaceOrder::kBfs: return "bfs";
+    case SpaceOrder::kSparseMrv: return "sparse-mrv";
   }
   return "?";
 }
@@ -81,6 +84,19 @@ bool check_slot_adjacency(const Dfg& dfg, const std::vector<int>& labels,
   }
   return true;
 }
+
+/// Whether this ordering recomputes its choice at every step (the dynamic
+/// family); the rest use build_static_order below.
+bool is_dynamic_order(SpaceOrder order) {
+  return order == SpaceOrder::kDynamicMrv || order == SpaceOrder::kSparseMrv;
+}
+
+/// PE count at which kDynamicMrv auto-upgrades to the sparse-tuned ordering
+/// (SpaceOptions::sparse_order_auto): 256 PEs = 4 words is where domains
+/// outgrow the single-word regime and the dense heuristics stop paying.
+/// Below it the upgrade never arms, keeping small-grid traces bit-identical
+/// to the recorded baselines.
+constexpr int kSparseOrderMinPes = 256;
 
 /// Static variable order for kConnectivity / kDegree / kBfs.
 std::vector<NodeId> build_static_order(
@@ -195,15 +211,48 @@ class BitsetSearcher {
         assignment_(static_cast<std::size_t>(n_), -1),
         mapped_neighbor_count_(static_cast<std::size_t>(n_), 0),
         level_of_(static_cast<std::size_t>(n_), -1),
+        frontier_(n_),
         fail_set_(n_) {
+    degree_of_.resize(static_cast<std::size_t>(n_));
     for (NodeId v = 0; v < n_; ++v) {
       neighbors_[static_cast<std::size_t>(v)] =
           dfg_.graph().undirected_neighbors(v);
+      // Flat copy of the degrees: select_node's comparator reads them per
+      // candidate pair, and the vector-of-vectors size() chase is
+      // measurable there.
+      degree_of_[static_cast<std::size_t>(v)] =
+          static_cast<int>(neighbors_[static_cast<std::size_t>(v)].size());
       const int label = labels_[static_cast<std::size_t>(v)];
       if (label >= 0 && label < ii_) {  // check_labels asserts otherwise
         nodes_by_label_[static_cast<std::size_t>(label)].push_back(v);
       }
     }
+    // Dancing-links views of the unassigned node set: ascending-id order
+    // globally (select_node's scan) and nodes_by_label_ order per label
+    // (the mono1 sweep). Both iterate exactly the nodes the old
+    // scan-and-skip loops reached, in the same order, without touching
+    // assigned nodes — unlink on assign, relink on undo, strict LIFO, so
+    // a node's neighbours are intact when it relinks.
+    un_next_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    un_prev_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (NodeId v = 0; v <= n_; ++v) {
+      const NodeId nx = v == n_ ? 0 : v + 1;
+      un_next_[static_cast<std::size_t>(v)] = nx;
+      un_prev_[static_cast<std::size_t>(nx)] = v;
+    }
+    lab_next_.assign(static_cast<std::size_t>(n_ + ii_), 0);
+    lab_prev_.assign(static_cast<std::size_t>(n_ + ii_), 0);
+    for (int l = 0; l < ii_; ++l) {
+      NodeId prev = n_ + l;  // per-label sentinel
+      for (const NodeId u : nodes_by_label_[static_cast<std::size_t>(l)]) {
+        lab_next_[static_cast<std::size_t>(prev)] = u;
+        lab_prev_[static_cast<std::size_t>(u)] = prev;
+        prev = u;
+      }
+      lab_next_[static_cast<std::size_t>(prev)] = n_ + l;
+      lab_prev_[static_cast<std::size_t>(n_ + l)] = prev;
+    }
+    count_cache_.assign(static_cast<std::size_t>(n_), -1);
     domain_.reserve(static_cast<std::size_t>(n_));
     pruners_.reserve(static_cast<std::size_t>(n_));
     cs_stack_.reserve(static_cast<std::size_t>(n_));
@@ -214,35 +263,50 @@ class BitsetSearcher {
     }
     words_ = (num_pes_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
     node_words_ = (n_ + PeSet::kWordBits - 1) / PeSet::kWordBits;
+    num_tiles_ = (words_ + PeSet::kTileWords - 1) / PeSet::kTileWords;
+    // Cached once per search so a run is internally consistent even if the
+    // global toggle flips concurrently (the bench flips it between runs).
+    tile_skip_ = words_ >= PeSet::kDispatchWords &&
+                 words_ <= PeSet::kMaxTrackedWords &&
+                 simd::tile_skipping_enabled();
+    // Same once-per-search pinning for the dispatch level: the tiled loops
+    // below call kernels per 8-word tile, where re-resolving the dispatch
+    // table each call costs as much as the kernel itself.
+    hk_ = simd::hot_kernels();
+    use_sparse_ = options_.order == SpaceOrder::kSparseMrv ||
+                  (options_.order == SpaceOrder::kDynamicMrv &&
+                   options_.sparse_order_auto &&
+                   num_pes_ >= kSparseOrderMinPes);
 
-    value_order_.reserve(static_cast<std::size_t>(num_pes_));
-    for (PeId p = 0; p < num_pes_; ++p) value_order_.push_back(p);
+    // Global value order: interior-first rank memoised on the arch (same
+    // key and stability as the reference engine's candidate sort, so both
+    // engines expand values in the same order; the per-searcher
+    // stable_sort over num_pes was measurable on a 64x64 fabric). Without
+    // interior_first the rank is the identity.
     if (options_.interior_first) {
-      // Same key and stability as the reference engine's candidate sort, so
-      // both engines expand values in the same order.
-      std::stable_sort(value_order_.begin(), value_order_.end(),
-                       [&](PeId a, PeId b) {
-                         return arch_.closed_neighbors(a).size() >
-                                arch_.closed_neighbors(b).size();
-                       });
-    }
-    value_rank_.assign(static_cast<std::size_t>(num_pes_), 0);
-    for (int i = 0; i < num_pes_; ++i) {
-      value_rank_[static_cast<std::size_t>(value_order_[
-          static_cast<std::size_t>(i)])] = i;
+      value_rank_ = arch_.interior_first_rank().data();
+    } else {
+      identity_rank_.resize(static_cast<std::size_t>(num_pes_));
+      for (int i = 0; i < num_pes_; ++i) {
+        identity_rank_[static_cast<std::size_t>(i)] = i;
+      }
+      value_rank_ = identity_rank_.data();
     }
     // One candidate buffer per depth: enumeration happens via the domain's
-    // set bits (O(words + candidates)), not a scan over all PEs.
-    cand_arena_.assign(static_cast<std::size_t>(n_) *
-                           static_cast<std::size_t>(num_pes_),
-                       0);
+    // set bits (O(words + candidates)), not a scan over all PEs. The
+    // storage is deliberately left uninitialised — search() always writes
+    // a depth's slice from the domain before reading it, and zero-filling
+    // n * num_pes ints is measurable against a whole small-kernel mapping
+    // on a 64x64 fabric.
+    cand_arena_.reset(new PeId[static_cast<std::size_t>(n_) *
+                               static_cast<std::size_t>(num_pes_)]);
     if (options_.symmetry_breaking && symmetry_applicable(arch_)) {
       canonical_ = PeSet(num_pes_);
       for (PeId p = 0; p < num_pes_; ++p) {
         if (in_canonical_octant(arch_, p)) canonical_.set(p);
       }
     }
-    if (options_.order != SpaceOrder::kDynamicMrv) {
+    if (!is_dynamic_order(options_.order)) {
       order_ = build_static_order(dfg_, neighbors_, options_.order);
     }
     if (options_.distance2_filter) {
@@ -323,27 +387,35 @@ class BitsetSearcher {
       use_mult_ = options_.distance2_multiplicity && max_mult_ >= 2 &&
                   num_pes_ > PeSet::kWordBits;
       if (use_mult_) {
-        d2k_masks_.resize(static_cast<std::size_t>(max_mult_) + 1);
+        d2k_masks_.resize(static_cast<std::size_t>(max_mult_) + 1, nullptr);
         for (int k = 2; k <= max_mult_; ++k) {
           if (mult_used[static_cast<std::size_t>(k)] == 0) continue;
-          auto& table = d2k_masks_[static_cast<std::size_t>(k)];
-          table.reserve(static_cast<std::size_t>(num_pes_));
-          for (PeId p = 0; p < num_pes_; ++p) {
-            table.push_back(arch_.common_target_mask(p, k));
-          }
+          d2k_masks_[static_cast<std::size_t>(k)] =
+              &arch_.common_target_masks(k);
         }
       }
     }
 
-    // Hard bound on live trail entries: per active depth and pruned node,
-    // the same-label loop trails at most one word, and the node is touched
-    // by either the neighbour loop (<= words_) or the two distance-2
-    // filters (<= 2 * words_), never both; at most n_ depths are active.
-    // Reserving the bound up front is what keeps the recursion heap-silent
-    // — run() asserts it was never exceeded.
-    const std::size_t trail_cap = static_cast<std::size_t>(n_) *
-                                  static_cast<std::size_t>(n_) *
-                                  static_cast<std::size_t>(2 * words_ + 1);
+    // Hard bound on live word-trail entries: per active depth and pruned
+    // node, the same-label loop trails at most one word, and (untiled) the
+    // node is touched by either the neighbour loop (<= words_) or the two
+    // distance-2 filters (<= 2 * words_), never both; at most n_ depths
+    // are active. With tile skipping armed the intersect paths never push
+    // word entries at all — their changes go on the tile trail — leaving
+    // only the one same-label word per (depth, node). Reserving the bound
+    // up front is what keeps the recursion heap-silent — run() asserts it
+    // was never exceeded.
+    const std::size_t trail_cap =
+        static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_) *
+        static_cast<std::size_t>(tile_skip_ ? 1 : 2 * words_ + 1);
+    // Tile-trail bound: per (depth, pruned node) the three intersects that
+    // can touch it (neighbour mask, distance-2 ball, multiplicity mask)
+    // each snapshot each occupied tile at most once.
+    const std::size_t tile_cap =
+        tile_skip_ ? static_cast<std::size_t>(n_) *
+                         static_cast<std::size_t>(n_) * 3 *
+                         static_cast<std::size_t>(num_tiles_)
+                   : 0;
     // Pruner-set bound: per (depth, pruned node) the new bits are at most
     // the assigned culprit, the primary distance-2 witness, and one
     // same-label witness group.
@@ -356,7 +428,9 @@ class BitsetSearcher {
     // memory outcome before the search starts.
     gov_ = GovernorScope::current();
     if (gov_ != nullptr) {
-      const std::size_t bytes = (trail_cap + pruner_cap) * sizeof(TrailEntry);
+      const std::size_t bytes =
+          (trail_cap + pruner_cap) * sizeof(TrailEntry) +
+          tile_cap * sizeof(TileTrailEntry);
       if (gov_->try_charge(bytes)) {
         gov_charged_ = bytes;
       } else {
@@ -367,6 +441,8 @@ class BitsetSearcher {
     }
     trail_.reserve(trail_cap);
     trail_reserved_ = trail_.capacity();
+    tile_trail_.reserve(tile_cap);
+    tile_trail_reserved_ = tile_trail_.capacity();
     pruner_trail_.reserve(pruner_cap);
     pruner_trail_reserved_ = pruner_trail_.capacity();
   }
@@ -408,9 +484,16 @@ class BitsetSearcher {
     // were never outgrown (a regrowth would mean a capacity bound is
     // wrong).
     MONOMAP_ASSERT(trail_.capacity() == trail_reserved_);
+    MONOMAP_ASSERT(tile_trail_.capacity() == tile_trail_reserved_);
     MONOMAP_ASSERT(pruner_trail_.capacity() == pruner_trail_reserved_);
     result.trail_words_saved = trail_words_saved_ + trail_.size();
+    for (const TileTrailEntry& e : tile_trail_) {
+      result.trail_words_saved += static_cast<std::uint64_t>(
+          std::min(PeSet::kTileWords, words_ - e.base));
+    }
     result.multiplicity_prunings = mult_prunings_;
+    result.tiles_skipped = tiles_skipped_;
+    result.domain_bytes_touched = words_touched_ * sizeof(PeSet::Word);
     if (result.found) {
       result.pe = assignment_;
     } else if (result.failure_reason.empty()) {
@@ -437,6 +520,32 @@ class BitsetSearcher {
     PeSet::Word old_bits;
   };
 
+  /// Tile-granular trail entry: a snapshot of one whole cache-line tile,
+  /// taken by the tiled intersect path just before its bulk AND (or wipe).
+  /// One entry replaces up to kTileWords dirty-word TrailEntry pushes and
+  /// restores as a straight copy, so both sides of the trade are
+  /// branch-free; tiles the preview proves untouched are never snapshot.
+  /// Only ever pushed when tile_skip_ is armed.
+  struct TileTrailEntry {
+    NodeId node;
+    std::int32_t base;  // first word of the tile
+    PeSet::Word old_bits[PeSet::kTileWords];
+  };
+
+  /// Snapshot one tile of domain_[u] onto the tile trail. Callers only
+  /// snapshot tiles the preview (or the all_zero probe) proved are about
+  /// to change, so every snapshot holds at least one nonzero word — which
+  /// is what lets undo's restore_words re-mark the tile occupied
+  /// unconditionally.
+  void push_tile(NodeId u, int base, int n, const PeSet& d) {
+    tile_trail_.emplace_back();
+    TileTrailEntry& e = tile_trail_.back();
+    e.node = u;
+    e.base = base;
+    std::memcpy(e.old_bits, d.words().data() + base,
+                static_cast<std::size_t>(n) * sizeof(PeSet::Word));
+  }
+
   /// A node at undirected DFG distance exactly 2, with its common-neighbour
   /// evidence. `witness` is the first-discovered common neighbour (drives
   /// the plain ball filter); `mult` is the size of the largest same-label
@@ -455,16 +564,66 @@ class BitsetSearcher {
     return assignment_[static_cast<std::size_t>(v)] >= 0;
   }
 
-  /// domain_[u] &= mask, trailing every changed word. Multi-word domains
-  /// use a vectorised non-mutating preview per 64-word block: the dirty
-  /// bitmask names exactly the words to trail and rewrite (walked in
+  /// domain_[u] &= mask, trailing every change. Multi-word domains use a
+  /// vectorised non-mutating preview: the dirty bitmask names exactly the
+  /// words `&=` would change, and untouched words are never stored back.
+  /// Untiled, each dirty word is trailed and rewritten individually (in
   /// ascending order, so the trail layout is identical at every SIMD
-  /// level), and untouched words are never stored back.
+  /// level). With tile skipping the preview runs per occupied cache-line
+  /// tile of the domain — tiles the occupancy map proves empty hold no
+  /// candidates and contribute nothing — and the trail snapshots at tile
+  /// granularity: one whole-tile copy, then a branch-free bulk AND,
+  /// instead of the per-dirty-word loop. Tiles the *mask* proves empty are
+  /// snapshot and wiped without loading the mask. Either way a tile whose
+  /// intersection comes out all-zero is dropped from the domain's
+  /// occupancy map, which is how domains narrow to a few lines as the
+  /// search deepens. The search trace (return values, decisions, every
+  /// counter except the trail/byte/tile telemetry) is identical across
+  /// layouts, and fully bit-identical across SIMD levels within a layout
+  /// (the preview and the occupancy map are level-independent); only the
+  /// trail representation and the cache lines touched differ between
+  /// layouts.
   Change intersect_domain(NodeId u, const PeSet& mask) {
     PeSet& d = domain_[static_cast<std::size_t>(u)];
     PeSet::Word any = 0;
     bool changed = false;
-    if (words_ >= PeSet::kDispatchWords) {
+    if (tile_skip_) {
+      const PeSet::Word occ = d.tile_occupancy();
+      tiles_skipped_ +=
+          static_cast<std::uint64_t>(num_tiles_ - std::popcount(occ));
+      const PeSet::Word mocc = mask.tile_occupancy();
+      for (PeSet::Word rest = occ; rest != 0; rest &= rest - 1) {
+        const int t = std::countr_zero(rest);
+        const int base = t * PeSet::kTileWords;
+        const int n = std::min(PeSet::kTileWords, words_ - base);
+        words_touched_ += static_cast<std::uint64_t>(n);
+        if (((mocc >> t) & 1) == 0) {
+          // The mask is empty on this whole tile: every surviving domain
+          // word dies. Snapshot-and-wipe, unless the occupancy bit was
+          // stale and the tile is already clear.
+          if (!hk_.all_zero(d.words().data() + base,
+                            static_cast<std::size_t>(n))) {
+            push_tile(u, base, n, d);
+            d.zero_words(base, n);
+            changed = true;
+          }
+          d.mark_tile_empty(t);
+          continue;
+        }
+        const simd::AndPreview pv =
+            hk_.and_preview(d.words().data() + base,
+                            mask.words().data() + base,
+                            static_cast<std::size_t>(n));
+        any |= pv.any;
+        if (pv.dirty != 0) {
+          push_tile(u, base, n, d);
+          d.and_words(mask, base, n);
+          changed = true;
+        }
+        if (pv.any == 0) d.mark_tile_empty(t);
+      }
+    } else if (words_ >= PeSet::kDispatchWords) {
+      words_touched_ += static_cast<std::uint64_t>(words_);
       for (int base = 0; base < words_; base += 64) {
         const int n = std::min(64, words_ - base);
         const simd::AndPreview pv = d.intersect_preview(mask, base, n);
@@ -478,6 +637,7 @@ class BitsetSearcher {
         }
       }
     } else {
+      words_touched_ += static_cast<std::uint64_t>(words_);
       for (int w = 0; w < words_; ++w) {
         const PeSet::Word old = d.word(w);
         const PeSet::Word next = old & mask.word(w);
@@ -489,6 +649,7 @@ class BitsetSearcher {
         any |= next;
       }
     }
+    if (changed) count_cache_[static_cast<std::size_t>(u)] = -1;
     if (any == 0) return Change::kWiped;
     return changed ? Change::kChanged : Change::kUnchanged;
   }
@@ -496,6 +657,7 @@ class BitsetSearcher {
   /// domain_[u] -= {p}, trailing the change.
   Change remove_from_domain(NodeId u, PeId p) {
     PeSet& d = domain_[static_cast<std::size_t>(u)];
+    ++words_touched_;
     const int w = p / PeSet::kWordBits;
     const PeSet::Word bit = PeSet::Word{1} << (p % PeSet::kWordBits);
     const PeSet::Word old = d.word(w);
@@ -504,6 +666,15 @@ class BitsetSearcher {
     if ((old & bit) == 0) return Change::kUnchanged;
     trail_.push_back(TrailEntry{u, w, old});
     d.restore_word(w, old & ~bit);
+    // Exactly one set bit left the domain: an exact decrement keeps the
+    // count memo warm through the whole mono1 sweep instead of forcing a
+    // recount per touched node.
+    int& cc = count_cache_[static_cast<std::size_t>(u)];
+    if (cc >= 0) --cc;
+    // A one-bit removal can only wipe the domain if its own word just went
+    // to zero; every other word is untouched, so the common case skips the
+    // whole-set emptiness scan (millions of calls per mono1 sweep).
+    if ((old & ~bit) != 0) return Change::kChanged;
     return d.empty() ? Change::kWiped : Change::kChanged;
   }
 
@@ -585,12 +756,18 @@ class BitsetSearcher {
     // decrements every neighbour, so the increments must not be skipped by
     // an early wipeout return below.
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
-      ++mapped_neighbor_count_[static_cast<std::size_t>(u)];
+      if (++mapped_neighbor_count_[static_cast<std::size_t>(u)] == 1 &&
+          !assigned(u)) {
+        frontier_.set(u);
+      }
     }
     const int label = labels_[static_cast<std::size_t>(v)];
-    // PE p's slot at v's label is now occupied (mono1).
-    for (const NodeId u : nodes_by_label_[static_cast<std::size_t>(label)]) {
-      if (assigned(u)) continue;
+    // PE p's slot at v's label is now occupied (mono1). The list walk
+    // visits exactly the unassigned same-label nodes, in nodes_by_label_
+    // order (v itself was unlinked before this propagation).
+    const NodeId lsent = n_ + label;
+    for (NodeId u = lab_next_[static_cast<std::size_t>(lsent)]; u != lsent;
+         u = lab_next_[static_cast<std::size_t>(u)]) {
       const Change c = remove_from_domain(u, p);
       if (c != Change::kUnchanged) add_pruner(u, v);
       if (c == Change::kWiped) return u;
@@ -629,8 +806,8 @@ class BitsetSearcher {
         // the induced subproblem.
         if (use_mult_ && pr.mult >= 2) {
           const Change c = intersect_domain(
-              u, d2k_masks_[static_cast<std::size_t>(pr.mult)]
-                           [static_cast<std::size_t>(p)]);
+              u, (*d2k_masks_[static_cast<std::size_t>(pr.mult)])
+                     [static_cast<std::size_t>(p)]);
           if (c != Change::kUnchanged) {
             ++mult_prunings_;
             add_pruner(u, v);
@@ -646,13 +823,52 @@ class BitsetSearcher {
     return kInvalidNode;
   }
 
-  void undo_assign(NodeId v, std::size_t mark, std::size_t pruner_mark) {
+  void unlink_node(NodeId v) {
+    un_next_[static_cast<std::size_t>(un_prev_[static_cast<std::size_t>(v)])] =
+        un_next_[static_cast<std::size_t>(v)];
+    un_prev_[static_cast<std::size_t>(un_next_[static_cast<std::size_t>(v)])] =
+        un_prev_[static_cast<std::size_t>(v)];
+    lab_next_[static_cast<std::size_t>(
+        lab_prev_[static_cast<std::size_t>(v)])] =
+        lab_next_[static_cast<std::size_t>(v)];
+    lab_prev_[static_cast<std::size_t>(
+        lab_next_[static_cast<std::size_t>(v)])] =
+        lab_prev_[static_cast<std::size_t>(v)];
+  }
+
+  void relink_node(NodeId v) {
+    un_next_[static_cast<std::size_t>(un_prev_[static_cast<std::size_t>(v)])] =
+        v;
+    un_prev_[static_cast<std::size_t>(un_next_[static_cast<std::size_t>(v)])] =
+        v;
+    lab_next_[static_cast<std::size_t>(
+        lab_prev_[static_cast<std::size_t>(v)])] = v;
+    lab_prev_[static_cast<std::size_t>(
+        lab_next_[static_cast<std::size_t>(v)])] = v;
+  }
+
+  void undo_assign(NodeId v, std::size_t mark, std::size_t pruner_mark,
+                   std::size_t tile_mark) {
+    // Tile trail first, then word trail: within one undo scope the only
+    // word entries pushed alongside tile entries are the same-label
+    // removals, which run before the intersects that snapshot tiles — so
+    // the chronologically older word values must be applied last to win.
+    for (std::size_t i = tile_trail_.size(); i > tile_mark; --i) {
+      const TileTrailEntry& e = tile_trail_[i - 1];
+      const int n = std::min(PeSet::kTileWords, words_ - e.base);
+      trail_words_saved_ += static_cast<std::uint64_t>(n);
+      count_cache_[static_cast<std::size_t>(e.node)] = -1;
+      domain_[static_cast<std::size_t>(e.node)].restore_words(e.base, n,
+                                                              e.old_bits);
+    }
+    tile_trail_.resize(tile_mark);
     // restore_word, not set_word: every old_bits value was read out of the
     // set it goes back into, so the tail-mask re-check would be pure
     // overhead on the hottest loop in the engine.
     trail_words_saved_ += trail_.size() - mark;
     for (std::size_t i = trail_.size(); i > mark; --i) {
       const TrailEntry& e = trail_[i - 1];
+      count_cache_[static_cast<std::size_t>(e.node)] = -1;
       domain_[static_cast<std::size_t>(e.node)].restore_word(e.word,
                                                              e.old_bits);
     }
@@ -664,38 +880,100 @@ class BitsetSearcher {
     }
     pruner_trail_.resize(pruner_mark);
     for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
-      --mapped_neighbor_count_[static_cast<std::size_t>(u)];
+      // An assigned u's bit is already clear; resetting it is harmless.
+      if (--mapped_neighbor_count_[static_cast<std::size_t>(u)] == 0) {
+        frontier_.reset(u);
+      }
     }
+    relink_node(v);
     assignment_[static_cast<std::size_t>(v)] = -1;
+    // v's own mapped-neighbour count was untouched by this undo, so its
+    // frontier membership is exactly count > 0 again.
+    if (mapped_neighbor_count_[static_cast<std::size_t>(v)] > 0) {
+      frontier_.set(v);
+    }
   }
 
   /// Next node to branch on. Static orders read order_; dynamic MRV picks
   /// the unassigned node with the smallest domain (popcount), preferring
-  /// frontier nodes, breaking ties by higher degree.
+  /// frontier nodes, breaking ties by higher degree. The sparse variant
+  /// (use_sparse_) weighs domain size against degree instead — minimising
+  /// |domain(v)| / (deg(v) + 1), the classic dom/deg rule — because on a
+  /// giant fabric every frontier domain collapses to a similar-sized
+  /// neighbourhood ball and plain MRV degenerates to
+  /// discovery order; the degree weighting branches on hub nodes first,
+  /// whose placement prunes the most. Any selection rule is complete.
+  /// domain.count() with the dispatch hoisted (see hk_): popcount only the
+  /// occupied tiles. Exact — identical to PeSet::count() — this is purely
+  /// the per-call table-resolution cost pulled out of select_node's loop.
+  int domain_count(const PeSet& d) const {
+    if (!tile_skip_) return d.count();
+    int c = 0;
+    for (PeSet::Word rest = d.tile_occupancy(); rest != 0; rest &= rest - 1) {
+      const int t = std::countr_zero(rest);
+      const int base = t * PeSet::kTileWords;
+      const int n = std::min(PeSet::kTileWords, words_ - base);
+      c += hk_.count(d.words().data() + base, static_cast<std::size_t>(n));
+    }
+    return c;
+  }
+
+  /// domain_count with a per-node memo. select_node rescans every
+  /// unassigned node each expansion, but a propagation only narrows the
+  /// assigned node's neighbourhood — every other domain still holds the
+  /// count computed last time. The memo is exact (invalidated on every
+  /// domain mutation and undo, decremented in place by mono1's single-bit
+  /// removals), so MRV decisions and search traces are unchanged; only the
+  /// repeated full-span popcounts over untouched domains disappear.
+  int cached_domain_count(NodeId v) const {
+    int& c = count_cache_[static_cast<std::size_t>(v)];
+    if (c < 0) c = domain_count(domain_[static_cast<std::size_t>(v)]);
+    return c;
+  }
+
   NodeId select_node(std::size_t depth) const {
-    if (options_.order != SpaceOrder::kDynamicMrv) {
+    if (!is_dynamic_order(options_.order)) {
       return order_[depth];
     }
+    const auto deg = [&](NodeId x) {
+      return static_cast<std::uint64_t>(
+          degree_of_[static_cast<std::size_t>(x)]);
+    };
     NodeId best = kInvalidNode;
     int best_count = 0;
-    bool best_frontier = false;
-    for (NodeId v = 0; v < n_; ++v) {
-      if (assigned(v)) continue;
-      const bool frontier =
-          mapped_neighbor_count_[static_cast<std::size_t>(v)] > 0;
-      if (best != kInvalidNode && best_frontier && !frontier) continue;
-      const int count = domain_[static_cast<std::size_t>(v)].count();
-      const bool better =
-          best == kInvalidNode || (frontier && !best_frontier) ||
-          (frontier == best_frontier &&
-           (count < best_count ||
-            (count == best_count &&
-             neighbors_[static_cast<std::size_t>(v)].size() >
-                 neighbors_[static_cast<std::size_t>(best)].size())));
+    const auto consider = [&](NodeId v) {
+      const int count = cached_domain_count(v);
+      bool better;
+      if (best == kInvalidNode) {
+        better = true;
+      } else if (use_sparse_) {
+        // count / (deg + 1) compared cross-multiplied, exact in integers.
+        const std::uint64_t sv =
+            static_cast<std::uint64_t>(count) * (deg(best) + 1);
+        const std::uint64_t sb =
+            static_cast<std::uint64_t>(best_count) * (deg(v) + 1);
+        better = sv < sb || (sv == sb && deg(v) > deg(best));
+      } else {
+        better = count < best_count ||
+                 (count == best_count && deg(v) > deg(best));
+      }
       if (better) {
         best = v;
         best_count = count;
-        best_frontier = frontier;
+      }
+    };
+    // Frontier preference: any node with a placed neighbour beats every
+    // node without one, so when the frontier set is non-empty only its
+    // members can win. Iterating its bits ascending visits exactly the
+    // frontier subsequence of the old full unassigned scan, so ties (and
+    // therefore traces) resolve identically — without walking the
+    // hundreds of untouched interior nodes a big patch keeps unassigned.
+    if (!frontier_.empty()) {
+      frontier_.for_each([&](int v) { consider(static_cast<NodeId>(v)); });
+    } else {
+      for (NodeId v = un_next_[static_cast<std::size_t>(n_)]; v != n_;
+           v = un_next_[static_cast<std::size_t>(v)]) {
+        consider(v);
       }
     }
     return best;
@@ -749,7 +1027,7 @@ class BitsetSearcher {
     // Snapshot the domain's candidates into this depth's buffer and order
     // them by the global value order (ranks are unique, so this reproduces
     // filtering value_order_ by the domain, without scanning all PEs).
-    PeId* cands = cand_arena_.data() +
+    PeId* cands = cand_arena_.get() +
                   static_cast<std::size_t>(depth) *
                       static_cast<std::size_t>(num_pes_);
     int num_cands = 0;
@@ -757,20 +1035,49 @@ class BitsetSearcher {
       if (canonical_only && !canonical_.test(p)) return;
       cands[num_cands++] = static_cast<PeId>(p);
     });
-    std::sort(cands, cands + num_cands, [&](PeId a, PeId b) {
-      return value_rank_[static_cast<std::size_t>(a)] <
-             value_rank_[static_cast<std::size_t>(b)];
-    });
+    // Sparse value ordering: once v has a placed neighbour, its domain is
+    // (a subset of) that neighbour's ball — try candidates center-out by
+    // grid distance to the anchor placement instead of the global
+    // interior-first rank, so early branches stay compact and the trailing
+    // far-corner candidates (the ones most likely to fail on the *next*
+    // node's ball intersection) come last. Deterministic: ties fall back
+    // to the unique global rank. Any value order is complete.
+    PeId sparse_anchor = -1;
+    if (use_sparse_) {
+      for (const NodeId u : neighbors_[static_cast<std::size_t>(v)]) {
+        if (assigned(u)) {
+          sparse_anchor = assignment_[static_cast<std::size_t>(u)];
+          break;
+        }
+      }
+    }
+    if (sparse_anchor >= 0) {
+      std::sort(cands, cands + num_cands, [&](PeId a, PeId b) {
+        const int da = arch_.grid_distance(a, sparse_anchor);
+        const int db = arch_.grid_distance(b, sparse_anchor);
+        if (da != db) return da < db;
+        return value_rank_[static_cast<std::size_t>(a)] <
+               value_rank_[static_cast<std::size_t>(b)];
+      });
+    } else {
+      std::sort(cands, cands + num_cands, [&](PeId a, PeId b) {
+        return value_rank_[static_cast<std::size_t>(a)] <
+               value_rank_[static_cast<std::size_t>(b)];
+      });
+    }
     for (int ci = 0; ci < num_cands; ++ci) {
       const PeId p = cands[ci];
       const std::size_t mark = trail_.size();
       const std::size_t pruner_mark = pruner_trail_.size();
+      const std::size_t tile_mark = tile_trail_.size();
       assignment_[static_cast<std::size_t>(v)] = p;
+      unlink_node(v);
+      frontier_.reset(v);
       const NodeId wiped = propagate_assign(v, p);
       if (wiped == kInvalidNode) {
         if (search(depth + 1, result)) return true;
         if (result.timed_out) {
-          undo_assign(v, mark, pruner_mark);
+          undo_assign(v, mark, pruner_mark, tile_mark);
           level_of_[static_cast<std::size_t>(v)] = -1;
           return false;
         }
@@ -779,7 +1086,7 @@ class BitsetSearcher {
           // (fail_set_ names no node assigned here or deeper): no other
           // value of v can repair it. Skip the remaining candidates and
           // deliver fail_set_ unchanged to the culprit level.
-          undo_assign(v, mark, pruner_mark);
+          undo_assign(v, mark, pruner_mark, tile_mark);
           level_of_[static_cast<std::size_t>(v)] = -1;
           return false;
         }
@@ -792,7 +1099,7 @@ class BitsetSearcher {
         cs |= pruners_[static_cast<std::size_t>(wiped)];
         cs.set(wiped);
       }
-      undo_assign(v, mark, pruner_mark);
+      undo_assign(v, mark, pruner_mark, tile_mark);
       ++result.backtracks;
     }
     // Every candidate failed. Jump to the deepest decision level the
@@ -837,31 +1144,57 @@ class BitsetSearcher {
   std::vector<std::vector<D2Pair>> dist2_;
   /// Backing store for the D2Pair same-label witness groups (mult >= 2).
   std::vector<NodeId> d2_witness_pool_;
-  /// d2k_masks_[k][p] == arch_.common_target_mask(p, k); built only for
-  /// the multiplicities k >= 2 this DFG contains, when use_mult_.
-  std::vector<std::vector<PeSet>> d2k_masks_;
+  /// (*d2k_masks_[k])[p] == arch_.common_target_mask(p, k); fetched from
+  /// the arch's memo only for the multiplicities k >= 2 this DFG contains,
+  /// when use_mult_ (nullptr for absent levels).
+  std::vector<const std::vector<PeSet>*> d2k_masks_;
   int max_mult_ = 0;      // largest same-label witness-group size seen
   bool use_mult_ = false; // multiplicity filter armed (toggle && mult >= 2)
+  int num_tiles_ = 0;     // occupancy tiles per domain
+  bool tile_skip_ = false;   // tile skipping armed for this run
+  simd::HotKernels hk_{};    // dispatch hoisted out of the per-tile loops
+  bool use_sparse_ = false;  // sparse ordering armed (kSparseMrv, or auto)
   std::uint64_t mult_prunings_ = 0;
   std::uint64_t trail_words_saved_ = 0;
+  std::uint64_t tiles_skipped_ = 0;   // tiles occupancy let us skip
+  std::uint64_t words_touched_ = 0;   // domain words propagation touched
   std::vector<PeId> assignment_;
   std::vector<int> mapped_neighbor_count_;
+  std::vector<int> degree_of_;     // |undirected_neighbors(v)|, flattened
   std::vector<int> level_of_;      // decision level per node; -1 unassigned
+  // Unassigned nodes with >= 1 placed neighbour (mapped_neighbor_count_
+  // > 0), maintained on assign/undo. select_node iterates this instead of
+  // the whole unassigned list whenever it is non-empty.
+  PeSet frontier_;
+  // Unassigned-node lists (dancing links; see ctor). un_* is the global
+  // ascending-id list with its sentinel at index n_; lab_* chains each
+  // label's nodes_by_label_ order with per-label sentinels at n_ + label.
+  std::vector<NodeId> un_next_;
+  std::vector<NodeId> un_prev_;
+  std::vector<NodeId> lab_next_;
+  std::vector<NodeId> lab_prev_;
   std::vector<PeSet> domain_;
+  // Exact per-node |domain| memo for select_node (-1 = stale; see
+  // cached_domain_count). mutable: reads recompute lazily from const paths.
+  mutable std::vector<int> count_cache_;
   std::vector<PeSet> pruners_;     // per node: who pruned its domain
   std::vector<PeSet> cs_stack_;    // conflict set per decision level
   PeSet fail_set_;                 // conflict set of the failure in flight
   int fail_level_ = -1;            // level that failure resumes at
   std::vector<TrailEntry> trail_;
   std::size_t trail_reserved_ = 0;
+  std::vector<TileTrailEntry> tile_trail_;  // tiled-layout undo snapshots
+  std::size_t tile_trail_reserved_ = 0;
   std::vector<TrailEntry> pruner_trail_;
   std::size_t pruner_trail_reserved_ = 0;
   ResourceGovernor* gov_ = nullptr;  // bound scope at construction time
   std::size_t gov_charged_ = 0;      // trail reservation bytes charged
   bool gov_denied_ = false;          // reservation refused: run() aborts
-  std::vector<PeId> value_order_;   // global value order (interior-first)
-  std::vector<int> value_rank_;     // inverse of value_order_
-  std::vector<PeId> cand_arena_;    // per-depth candidate buffers
+  // Rank of each PE in the global value order (interior-first: the arch's
+  // memoised table; otherwise identity_rank_, built per searcher).
+  const int* value_rank_ = nullptr;
+  std::vector<int> identity_rank_;
+  std::unique_ptr<PeId[]> cand_arena_;  // per-depth candidate buffers
   std::vector<NodeId> order_;       // static variable order, if any
   PeSet canonical_;                 // empty capacity == disabled
 };
@@ -906,8 +1239,12 @@ class ReferenceSearcher {
       return result;
     }
     result.shallowest_retreat = dfg_.num_nodes() + 1;
+    // kSparseMrv runs as plain dynamic MRV here: the sparse heuristics are
+    // bitset-engine tuning, and since any ordering is complete the oracle
+    // still agrees on found/not-found — which is what the differential
+    // tests check.
     const bool found =
-        options_.order == SpaceOrder::kDynamicMrv
+        is_dynamic_order(options_.order)
             ? (prepare_dynamic(), search_dynamic(0, result))
             : (order_ = build_static_order(dfg_, neighbors_, options_.order),
                search(0, result));

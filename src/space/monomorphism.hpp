@@ -38,6 +38,14 @@ enum class SpaceOrder {
   kConnectivity,  // static greatest-constraint-first (RI-style)
   kDegree,        // static by descending degree
   kBfs,           // breadth-first from the max-degree node
+  kSparseMrv,     // dynamic dom/deg-weighted MRV + ball-center-out value
+                  // ordering, tuned for giant sparse domains (bitset
+                  // engine; the reference engine treats it as kDynamicMrv).
+                  // Completeness-preserving: any variable/value order
+                  // explores the same space, so found/not-found never
+                  // changes, only search effort. kDynamicMrv auto-upgrades
+                  // to this on fabrics of 256+ PEs unless
+                  // SpaceOptions::sparse_order_auto is cleared.
 };
 
 const char* to_string(SpaceOrder order);
@@ -96,6 +104,15 @@ struct SpaceOptions {
   /// never changes found/not-found, only search effort (ablation toggle;
   /// pinned by tests/space_engines_test.cpp).
   bool distance2_multiplicity = true;
+  /// Bitset engine: when order is kDynamicMrv, automatically switch to the
+  /// sparse-tuned ordering (kSparseMrv: dom/deg-weighted MRV +
+  /// ball-center-out value ordering) on fabrics of 256+ PEs, where domains
+  /// span multiple cache lines and the dense-regime heuristics stop paying.
+  /// Below the threshold plain dynamic MRV runs untouched, so small-grid
+  /// search traces stay bit-identical to the recorded baselines.
+  /// Completeness-preserving either way; clear this (or set order
+  /// explicitly) to pin one ordering for A/B runs.
+  bool sparse_order_auto = true;
   /// Bitset engine: conflict-directed backjumping. On exhausting a node's
   /// candidates the search jumps to the deepest decision that pruned any
   /// domain involved in the failure, instead of the chronological parent.
@@ -152,14 +169,31 @@ struct SpaceResult {
   /// 32x32, 64 at 64x64) — the unit of domain-trail traffic.
   int words_per_domain = 0;
   /// Bitset engine: total words recorded on (and restored from) the domain
-  /// trail. The trail saves exactly the words a propagation changed;
-  /// compare against backtracks * num_nodes * words_per_domain — the
-  /// traffic a whole-domain snapshot scheme would pay — to see the
-  /// dirty-word saving in bench JSON.
+  /// trail. Untiled, the trail saves exactly the words a propagation
+  /// changed; with tile skipping armed the intersect paths snapshot at
+  /// cache-line-tile granularity instead (each entry counts its whole
+  /// tile, at most kTileWords), trading a few clean words per snapshot
+  /// for branch-free save/restore. Compare against
+  /// backtracks * num_nodes * words_per_domain — the traffic a
+  /// whole-domain snapshot scheme would pay — to see the saving in bench
+  /// JSON. Layout-dependent by design: tiled and untiled rows report
+  /// different values for identical searches.
   std::uint64_t trail_words_saved = 0;
   /// Bitset engine: domain prunings contributed by the multiplicity-aware
   /// distance-2 filter (distance2_multiplicity).
   std::uint64_t multiplicity_prunings = 0;
+  /// Bitset engine: cache-line tiles the domain-intersection path skipped
+  /// because the tile-occupancy map proved them empty (see PeSet). Counted
+  /// against the occupancy map, so the value is identical at every SIMD
+  /// level and with skipping disabled it is exactly 0.
+  std::uint64_t tiles_skipped = 0;
+  /// Bitset engine: bytes of domain words the propagation path actually
+  /// read or wrote (intersections + single-bit removals). With tile
+  /// skipping this shrinks to the occupied-tile traffic; untiled it is
+  /// words_per_domain * 8 per intersection. Deterministic given the trace,
+  /// so bench layout comparisons pair rows with equal effort counters and
+  /// differing bytes.
+  std::uint64_t domain_bytes_touched = 0;
   double seconds = 0.0;
   std::string failure_reason;
   /// Conflict explanation, set only when the search produced a complete

@@ -17,6 +17,20 @@
 // instructions; at 1K-4K PEs (32x32-64x64 fabrics) a set is 16-64 words and
 // the bulk operations dispatch to the runtime-selected SIMD kernels in
 // support/simd.hpp (AVX2/AVX-512 with a bit-identical scalar fallback).
+//
+// Tiled occupancy layout: the words are additionally viewed as cache-line
+// tiles of simd::kTileWords (8) words, and every set tracks a one-word
+// occupancy bitmap — bit t set means tile t *may* hold set bits, bit t
+// clear means tile t is *definitely* all-zero. Deep in a search a 64-word
+// grid-64 domain is typically narrowed to one or two neighbourhood-ball
+// tiles, so the bulk read operations walk only the occupied tiles and the
+// other 60+ cache lines are never loaded. The bitmap is a conservative
+// over-approximation (clearing a bit requires proof, setting one doesn't),
+// which keeps every operation exact: results, counts, iteration order, and
+// the dirty-word trail are bit-identical with skipping on or off — only
+// the memory traffic differs. simd::set_tile_skipping()/MONOMAP_TILES
+// toggles the skipping globally (the bench records both layouts); sets
+// wider than 64 tiles don't track occupancy and keep the full-span paths.
 #ifndef MONOMAP_SUPPORT_PE_SET_HPP
 #define MONOMAP_SUPPORT_PE_SET_HPP
 
@@ -39,6 +53,11 @@ class PeSet {
   /// (which the compiler fully unrolls and which beat an indirect call for
   /// one-or-two-word sets, the small-mesh regime).
   static constexpr int kDispatchWords = 4;
+  /// Words per occupancy tile: one 64-byte cache line.
+  static constexpr int kTileWords = simd::kTileWords;
+  /// Widest set whose tile count fits the one-word occupancy bitmap
+  /// (64 tiles = 512 words = 32768 ids); wider sets skip nothing.
+  static constexpr int kMaxTrackedWords = kTileWords * kWordBits;
 
   PeSet() = default;
 
@@ -61,6 +80,16 @@ class PeSet {
   [[nodiscard]] int num_words() const {
     return static_cast<int>(words_.size());
   }
+  [[nodiscard]] int num_tiles() const {
+    return (num_words() + kTileWords - 1) / kTileWords;
+  }
+  /// Whether this set maintains the occupancy bitmap (<= 64 tiles).
+  [[nodiscard]] bool tracks_tiles() const {
+    return num_words() <= kMaxTrackedWords;
+  }
+  /// The occupancy over-approximation: bit t clear <=> tile t is all-zero.
+  /// Meaningful only when tracks_tiles().
+  [[nodiscard]] Word tile_occupancy() const { return occ_; }
 
   [[nodiscard]] bool test(int i) const {
     MONOMAP_ASSERT(i >= 0 && i < capacity_);
@@ -71,6 +100,7 @@ class PeSet {
     MONOMAP_ASSERT(i >= 0 && i < capacity_);
     words_[static_cast<std::size_t>(i / kWordBits)] |= Word{1}
                                                        << (i % kWordBits);
+    mark_word_occupied(i / kWordBits);
   }
   void reset(int i) {
     MONOMAP_ASSERT(i >= 0 && i < capacity_);
@@ -80,14 +110,26 @@ class PeSet {
 
   void clear() {
     for (Word& w : words_) w = 0;
+    occ_ = 0;
   }
   void fill() {
     for (Word& w : words_) w = ~Word{0};
     trim();
+    const int nt = num_tiles();
+    occ_ = nt >= kWordBits ? ~Word{0} : (Word{1} << nt) - 1;
   }
 
   [[nodiscard]] int count() const {
     if (num_words() >= kDispatchWords) {
+      if (tile_skipping_active()) {
+        int c = 0;
+        for_tile_runs(occ_, [&](int base, int n) {
+          c += simd::count(words_.data() + base,
+                           static_cast<std::size_t>(n));
+          return true;
+        });
+        return c;
+      }
       return simd::count(words_.data(), words_.size());
     }
     int c = 0;
@@ -96,6 +138,12 @@ class PeSet {
   }
   [[nodiscard]] bool empty() const {
     if (num_words() >= kDispatchWords) {
+      if (tile_skipping_active()) {
+        return for_tile_runs(occ_, [&](int base, int n) {
+          return simd::all_zero(words_.data() + base,
+                                static_cast<std::size_t>(n));
+        });
+      }
       return simd::all_zero(words_.data(), words_.size());
     }
     for (const Word w : words_) {
@@ -109,21 +157,26 @@ class PeSet {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
       simd::and_assign(words_.data(), o.words_.data(), words_.size());
-      return *this;
+    } else {
+      for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
     }
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    // Tiles nonzero in (a & b) are nonzero in both — intersecting the
+    // over-approximations stays an over-approximation.
+    occ_ &= o.occ_;
     return *this;
   }
   PeSet& operator|=(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
       simd::or_assign(words_.data(), o.words_.data(), words_.size());
-      return *this;
+    } else {
+      for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
     }
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    occ_ |= o.occ_;
     return *this;
   }
-  /// this &= ~o (set difference).
+  /// this &= ~o (set difference). Occupancy is unchanged: the result only
+  /// loses bits, so the old map stays a valid over-approximation.
   PeSet& and_not(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
@@ -138,6 +191,7 @@ class PeSet {
   /// where operator&= followed by empty() would take two.
   bool intersect_and_test(const PeSet& o) {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
+    occ_ &= o.occ_;
     if (num_words() >= kDispatchWords) {
       return simd::and_assign_any(words_.data(), o.words_.data(),
                                   words_.size()) != 0;
@@ -153,6 +207,16 @@ class PeSet {
   [[nodiscard]] int intersect_count(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
+      if (tile_skipping_active()) {
+        int c = 0;
+        for_tile_runs(occ_ & o.occ_, [&](int base, int n) {
+          c += simd::intersect_count(words_.data() + base,
+                                     o.words_.data() + base,
+                                     static_cast<std::size_t>(n));
+          return true;
+        });
+        return c;
+      }
       return simd::intersect_count(words_.data(), o.words_.data(),
                                    words_.size());
     }
@@ -180,6 +244,14 @@ class PeSet {
   [[nodiscard]] bool is_subset_of(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
+      if (tile_skipping_active()) {
+        // Tiles empty in this set are trivially contained.
+        return for_tile_runs(occ_, [&](int base, int n) {
+          return simd::is_subset_of(words_.data() + base,
+                                    o.words_.data() + base,
+                                    static_cast<std::size_t>(n));
+        });
+      }
       return simd::is_subset_of(words_.data(), o.words_.data(),
                                 words_.size());
     }
@@ -192,6 +264,13 @@ class PeSet {
   [[nodiscard]] bool intersects(const PeSet& o) const {
     MONOMAP_ASSERT(o.words_.size() == words_.size());
     if (num_words() >= kDispatchWords) {
+      if (tile_skipping_active()) {
+        return !for_tile_runs(occ_ & o.occ_, [&](int base, int n) {
+          return !simd::intersects(words_.data() + base,
+                                   o.words_.data() + base,
+                                   static_cast<std::size_t>(n));
+        });
+      }
       return simd::intersects(words_.data(), o.words_.data(), words_.size());
     }
     for (std::size_t i = 0; i < words_.size(); ++i) {
@@ -200,6 +279,8 @@ class PeSet {
     return false;
   }
 
+  // Occupancy is an over-approximation, so two equal sets may carry
+  // different maps; equality compares the bits alone.
   friend bool operator==(const PeSet& a, const PeSet& b) {
     return a.capacity_ == b.capacity_ && a.words_ == b.words_;
   }
@@ -219,6 +300,25 @@ class PeSet {
     std::size_t wi = static_cast<std::size_t>(start / kWordBits);
     Word w = words_[wi] >> (start % kWordBits);
     if (w != 0) return start + std::countr_zero(w);
+    if (num_words() >= kDispatchWords && tile_skipping_active()) {
+      const int nw = num_words();
+      int i = static_cast<int>(wi) + 1;
+      while (i < nw) {
+        const int t = i / kTileWords;
+        if (((occ_ >> t) & 1) == 0) {
+          i = (t + 1) * kTileWords;  // tile definitely empty, hop the line
+          continue;
+        }
+        const int end = (t + 1) * kTileWords < nw ? (t + 1) * kTileWords : nw;
+        for (; i < end; ++i) {
+          if (words_[static_cast<std::size_t>(i)] != 0) {
+            return i * kWordBits +
+                   std::countr_zero(words_[static_cast<std::size_t>(i)]);
+          }
+        }
+      }
+      return -1;
+    }
     for (++wi; wi < words_.size(); ++wi) {
       if (words_[wi] != 0) {
         return static_cast<int>(wi) * kWordBits + std::countr_zero(words_[wi]);
@@ -227,8 +327,26 @@ class PeSet {
     return -1;
   }
 
+  /// Visits set ids in ascending order (callers rely on the order being
+  /// identical with tile skipping on or off — skipped tiles hold no ids).
   template <typename F>
   void for_each(F&& f) const {
+    const int nw = num_words();
+    if (nw >= kDispatchWords && tile_skipping_active()) {
+      for (Word rest = occ_; rest != 0; rest &= rest - 1) {
+        const int t = std::countr_zero(rest);
+        const int end = (t + 1) * kTileWords < nw ? (t + 1) * kTileWords : nw;
+        for (int wi = t * kTileWords; wi < end; ++wi) {
+          Word w = words_[static_cast<std::size_t>(wi)];
+          while (w != 0) {
+            const int bit = std::countr_zero(w);
+            f(wi * kWordBits + bit);
+            w &= w - 1;
+          }
+        }
+      }
+      return;
+    }
     for (std::size_t wi = 0; wi < words_.size(); ++wi) {
       Word w = words_[wi];
       while (w != 0) {
@@ -252,6 +370,7 @@ class PeSet {
     // Phantom bits beyond capacity() would corrupt count()/empty()/==.
     MONOMAP_ASSERT((w & ~tail_mask(i)) == 0);
     words_[static_cast<std::size_t>(i)] = w;
+    if (w != 0) mark_word_occupied(i);
   }
   /// Unchecked word store for values previously read via word()/words():
   /// the backtracking trail restores thousands of words per search, and
@@ -260,7 +379,42 @@ class PeSet {
   /// *new* pattern must use set_word.
   void restore_word(int i, Word w) {
     words_[static_cast<std::size_t>(i)] = w;
+    if (w != 0) mark_word_occupied(i);
   }
+  /// Bulk this &= o over words [base, base+n) with no per-word dirty
+  /// bookkeeping: the tiled searcher snapshots the whole tile beforehand,
+  /// so nothing needs trailing here. Occupancy is untouched (the result
+  /// only loses bits, so the old map stays a valid over-approximation);
+  /// callers tighten via mark_tile_empty when the tile came out all-zero.
+  void and_words(const PeSet& o, int base, int n) {
+    Word* a = words_.data() + base;
+    const Word* b = o.words_.data() + base;
+    for (int i = 0; i < n; ++i) a[i] &= b[i];
+  }
+  /// Zero words [base, base+n) (tile wipe under an all-empty mask tile);
+  /// the caller snapshots beforehand and tightens via mark_tile_empty.
+  void zero_words(int base, int n) {
+    Word* a = words_.data() + base;
+    for (int i = 0; i < n; ++i) a[i] = 0;
+  }
+  /// Restore words [base, base+n) from a snapshot previously copied out of
+  /// words() — the tile-granular undo. A snapshot is only ever taken of a
+  /// tile that held bits (an all-zero tile is never dirty), so the tile is
+  /// re-marked occupied wholesale: the exact analogue of restore_word's
+  /// re-occupation, which is why backtracking needs no occupancy trail.
+  void restore_words(int base, int n, const Word* old) {
+    Word* a = words_.data() + base;
+    for (int i = 0; i < n; ++i) a[i] = old[i];
+    mark_word_occupied(base);
+  }
+  /// Caller-proven tightening: drop tile t from the occupancy map.
+  /// Unchecked like restore_word (hot path); the caller must have just
+  /// established that every word of tile t is zero (e.g. a full intersect
+  /// preview of the tile came back all-zero) — marking a nonempty tile
+  /// empty corrupts every subsequent bulk result. A later restore_word of
+  /// a nonzero word re-occupies the tile, so backtracking needs no
+  /// occupancy trail of its own.
+  void mark_tile_empty(int t) { occ_ &= ~(Word{1} << t); }
 
  private:
   /// Clear the unused high bits of the last word so count()/empty() stay
@@ -280,7 +434,35 @@ class PeSet {
     return ~Word{0};
   }
 
+  void mark_word_occupied(int wi) {
+    const int t = wi / kTileWords;
+    // Sets wider than 64 tiles don't track occupancy (tracks_tiles() is
+    // false and no read path consults occ_), but stay shift-safe.
+    if (t < kWordBits) occ_ |= Word{1} << t;
+  }
+
+  [[nodiscard]] bool tile_skipping_active() const {
+    return tracks_tiles() && simd::tile_skipping_enabled();
+  }
+
+  /// Invoke f(base_word, n_words) for each maximal run of tiles set in
+  /// `occ` (ascending); stop and return false the first time f does.
+  template <typename F>
+  bool for_tile_runs(Word occ, F&& f) const {
+    const int nw = num_words();
+    while (occ != 0) {
+      const int t = std::countr_zero(occ);
+      const int end_t = t + std::countr_one(occ >> t);
+      const int base = t * kTileWords;
+      const int end = end_t * kTileWords < nw ? end_t * kTileWords : nw;
+      if (!f(base, end - base)) return false;
+      occ = end_t >= kWordBits ? Word{0} : occ & (~Word{0} << end_t);
+    }
+    return true;
+  }
+
   int capacity_ = 0;
+  Word occ_ = 0;
   std::vector<Word, simd::CacheAlignedAllocator<Word>> words_;
 };
 

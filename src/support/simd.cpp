@@ -17,7 +17,11 @@
 
 #include "support/assert.hpp"
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+// MONOMAP_SIMD_FORCE_SCALAR (CMake option) drops the vector tables even on
+// x86 — the portability assert CI uses to prove the scalar reference builds
+// and dispatches standalone, exactly as a non-x86 (e.g. NEON) host would.
+#if !defined(MONOMAP_SIMD_FORCE_SCALAR) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
 #define MONOMAP_SIMD_X86 1
 #include <immintrin.h>
 #else
@@ -38,6 +42,7 @@ struct KernelTable {
   bool (*intersects)(const Word*, const Word*, std::size_t);
   bool (*is_subset_of)(const Word*, const Word*, std::size_t);
   AndPreview (*and_preview)(const Word*, const Word*, std::size_t);
+  Word (*occupancy_mask)(const Word*, std::size_t);
   Level level;
 };
 
@@ -148,10 +153,22 @@ AndPreview s_and_preview(const Word* a, const Word* b, std::size_t n) {
   return r;
 }
 
+Word s_occupancy_mask(const Word* a, std::size_t n) {
+  Word occ = 0;
+  std::size_t tile = 0;
+  for (std::size_t base = 0; base < n; base += kTileWords, ++tile) {
+    const std::size_t end = base + kTileWords < n ? base + kTileWords : n;
+    Word acc = 0;
+    for (std::size_t i = base; i < end; ++i) acc |= a[i];
+    occ |= static_cast<Word>(acc != 0) << tile;
+  }
+  return occ;
+}
+
 constexpr KernelTable kScalarTable{
     s_and_assign, s_or_assign,   s_and_not_assign, s_and_assign_any,
     s_count,      s_intersect_count, s_all_zero,   s_intersects,
-    s_is_subset_of, s_and_preview, Level::kScalar,
+    s_is_subset_of, s_and_preview, s_occupancy_mask, Level::kScalar,
 };
 
 #if MONOMAP_SIMD_X86
@@ -336,10 +353,30 @@ MONOMAP_AVX2 AndPreview v2_and_preview(const Word* a, const Word* b,
   return r;
 }
 
+MONOMAP_AVX2 Word v2_occupancy_mask(const Word* a, std::size_t n) {
+  Word occ = 0;
+  std::size_t tile = 0;
+  std::size_t base = 0;
+  for (; base + kTileWords <= n; base += kTileWords, ++tile) {
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + base));
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + base + 4));
+    const __m256i v = _mm256_or_si256(lo, hi);
+    occ |= static_cast<Word>(!_mm256_testz_si256(v, v)) << tile;
+  }
+  if (base < n) {
+    Word acc = 0;
+    for (std::size_t i = base; i < n; ++i) acc |= a[i];
+    occ |= static_cast<Word>(acc != 0) << tile;
+  }
+  return occ;
+}
+
 constexpr KernelTable kAvx2Table{
     v2_and_assign, v2_or_assign,   v2_and_not_assign, v2_and_assign_any,
     v2_count,      v2_intersect_count, v2_all_zero,   v2_intersects,
-    v2_is_subset_of, v2_and_preview, Level::kAvx2,
+    v2_is_subset_of, v2_and_preview, v2_occupancy_mask, Level::kAvx2,
 };
 
 // --- AVX-512 ---------------------------------------------------------------
@@ -482,10 +519,26 @@ MONOMAP_AVX512 AndPreview v5_and_preview(const Word* a, const Word* b,
   return r;
 }
 
+MONOMAP_AVX512 Word v5_occupancy_mask(const Word* a, std::size_t n) {
+  Word occ = 0;
+  std::size_t tile = 0;
+  std::size_t base = 0;
+  for (; base + kTileWords <= n; base += kTileWords, ++tile) {
+    const __m512i v = _mm512_loadu_si512(a + base);
+    occ |= static_cast<Word>(_mm512_test_epi64_mask(v, v) != 0) << tile;
+  }
+  if (base < n) {
+    Word acc = 0;
+    for (std::size_t i = base; i < n; ++i) acc |= a[i];
+    occ |= static_cast<Word>(acc != 0) << tile;
+  }
+  return occ;
+}
+
 constexpr KernelTable kAvx512Table{
     v5_and_assign, v5_or_assign,   v5_and_not_assign, v5_and_assign_any,
     v5_count,      v5_intersect_count, v5_all_zero,   v5_intersects,
-    v5_is_subset_of, v5_and_preview, Level::kAvx512,
+    v5_is_subset_of, v5_and_preview, v5_occupancy_mask, Level::kAvx512,
 };
 
 #endif  // MONOMAP_SIMD_X86
@@ -546,6 +599,20 @@ const KernelTable& kernels() {
   return *active_table().load(std::memory_order_relaxed);
 }
 
+/// Startup tile-skipping setting: on unless MONOMAP_TILES says "off"/"0".
+bool startup_tile_skipping() {
+  const char* env = std::getenv("MONOMAP_TILES");
+  if (env == nullptr) return true;
+  std::string s(env);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return !(s == "off" || s == "0" || s == "false");
+}
+
+std::atomic<bool>& tile_skipping_flag() {
+  static std::atomic<bool> flag{startup_tile_skipping()};
+  return flag;
+}
+
 }  // namespace
 
 const char* level_name(Level level) {
@@ -598,6 +665,23 @@ bool is_subset_of(const Word* a, const Word* b, std::size_t n) {
 AndPreview and_preview(const Word* a, const Word* b, std::size_t n) {
   MONOMAP_ASSERT(n <= 64);
   return kernels().and_preview(a, b, n);
+}
+Word occupancy_mask(const Word* a, std::size_t n) {
+  MONOMAP_ASSERT(n <= 64 * static_cast<std::size_t>(kTileWords));
+  return kernels().occupancy_mask(a, n);
+}
+
+HotKernels hot_kernels() {
+  const KernelTable& t = kernels();
+  return HotKernels{t.and_preview, t.all_zero, t.count};
+}
+
+bool tile_skipping_enabled() {
+  return tile_skipping_flag().load(std::memory_order_relaxed);
+}
+
+bool set_tile_skipping(bool enabled) {
+  return tile_skipping_flag().exchange(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace monomap::simd

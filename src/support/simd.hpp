@@ -31,6 +31,25 @@ namespace monomap::simd {
 
 using Word = std::uint64_t;
 
+/// Words per layout tile: one 64-byte cache line (512 PEs). Multi-word
+/// PeSets keep a one-word occupancy bitmap (bit t <=> tile t holds any set
+/// bit, conservatively), so bulk reads skip definitely-empty lines — on a
+/// 64x64 fabric a domain narrowed to a neighbourhood ball occupies 1-2 of
+/// its 8 tiles and the other 6-7 lines are never loaded.
+inline constexpr int kTileWords = 8;
+
+/// Whether occupancy-directed tile skipping is active (default on; the
+/// MONOMAP_TILES environment variable — "off"/"0" — disables it at
+/// startup). Skipping never changes results or search traces, only which
+/// cache lines get touched; the bench flips it to record the untiled
+/// layout as a comparison row.
+bool tile_skipping_enabled();
+
+/// Enable/disable tile skipping; returns the previous setting. Thread-safe,
+/// but flip it between searches, not during one (the searcher caches the
+/// setting per run).
+bool set_tile_skipping(bool enabled);
+
 /// Kernel implementation tiers, in increasing capability order. Dispatch
 /// never selects a level the CPU cannot execute.
 enum class Level : int {
@@ -89,6 +108,24 @@ bool is_subset_of(const Word* a, const Word* b, std::size_t n);
 /// empty. Requires n <= 64 so the dirty mask fits one word; callers with
 /// wider arrays loop in 64-word blocks.
 AndPreview and_preview(const Word* a, const Word* b, std::size_t n);
+/// Tile occupancy bitmap: bit t set <=> the t'th kTileWords-word tile of a
+/// holds any set bit. Requires n <= 64 * kTileWords so the bitmap fits one
+/// word; wider sets don't track occupancy (see PeSet).
+Word occupancy_mask(const Word* a, std::size_t n);
+
+/// Resolved function pointers for the kernels the search engine's per-tile
+/// loops call millions of times per run. The free functions above re-read
+/// the dispatch table on every call — negligible for full-span sweeps, but
+/// per 8-word tile the table load and indirection cost as much as the
+/// kernel itself. Fetch once per search (after any set_level()) and call
+/// through the pointers; the resolved level is pinned for the fetch's
+/// lifetime, exactly like the searcher's cached tile-skipping flag.
+struct HotKernels {
+  AndPreview (*and_preview)(const Word*, const Word*, std::size_t);
+  bool (*all_zero)(const Word*, std::size_t);
+  int (*count)(const Word*, std::size_t);
+};
+HotKernels hot_kernels();
 
 // --- aligned storage -------------------------------------------------------
 

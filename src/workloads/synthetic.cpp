@@ -1,6 +1,7 @@
 #include "workloads/synthetic.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,101 @@ Dfg layered_dfg(int layers, int width, std::uint64_t seed) {
   return Dfg::from_edges("layered_" + std::to_string(layers) + "x" +
                              std::to_string(width),
                          n, edges);
+}
+
+Dfg placeable_grid_dfg(const PlaceableGridSpec& spec,
+                       std::vector<int>* labels_out) {
+  MONOMAP_ASSERT(spec.rows >= 1 && spec.cols >= 1 && spec.ii >= 1);
+  MONOMAP_ASSERT(spec.rows * spec.cols >= 2);
+  MONOMAP_ASSERT(labels_out != nullptr);
+  Rng rng(spec.seed);
+  const int n = spec.rows * spec.cols;
+  auto node = [&spec](int r, int c) { return r * spec.cols + c; };
+  std::vector<Edge> edges;
+  // Connected spanning skeleton: every row is a chain, the first column
+  // ties the rows together. Deterministic, so the instance is connected at
+  // any edge_keep.
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 1; c < spec.cols; ++c) {
+      edges.push_back(Edge{node(r, c - 1), node(r, c), 0});
+    }
+  }
+  for (int r = 1; r < spec.rows; ++r) {
+    edges.push_back(Edge{node(r - 1, 0), node(r, 0), 0});
+    // Optional vertical edges thin the patch irregularly, so the search
+    // faces many inequivalent embeddings instead of a rigid full mesh.
+    for (int c = 1; c < spec.cols; ++c) {
+      if (rng.next_bool(spec.edge_keep)) {
+        edges.push_back(Edge{node(r - 1, c), node(r, c), 0});
+      }
+    }
+  }
+  // The loop-carried recurrence joins a grid-adjacent pair (unlike the
+  // layered generator's last-to-first edge) — the identity embedding must
+  // stay a monomorphism witness.
+  if (spec.rows > 1) {
+    edges.push_back(Edge{node(1, 0), node(0, 0), 1});
+  } else {
+    edges.push_back(Edge{node(0, 1), node(0, 0), 1});
+  }
+  labels_out->assign(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      (*labels_out)[static_cast<std::size_t>(node(r, c))] =
+          (r + c) % spec.ii;
+    }
+  }
+  return Dfg::from_edges("placeable_" + std::to_string(spec.rows) + "x" +
+                             std::to_string(spec.cols) + "_s" +
+                             std::to_string(spec.seed),
+                         n, edges);
+}
+
+namespace {
+
+/// Largest number of same-label nodes the (r + c) % ii wave labelling packs
+/// into any node's 2-hop grid neighbourhood (offsets with |dr| + |dc| <= 2).
+/// Once their common neighbour is placed, all of them compete for distinct
+/// PEs inside one distance-2 ball, so this is the demand the architecture's
+/// ball capacity must cover.
+int wave_same_label_demand(int ii) {
+  int worst = 0;
+  for (int residue = 0; residue < ii; ++residue) {
+    int count = 0;
+    for (int dr = -2; dr <= 2; ++dr) {
+      for (int dc = -2; dc <= 2; ++dc) {
+        if (std::abs(dr) + std::abs(dc) > 2) continue;
+        if (((dr + dc) % ii + ii) % ii == residue) ++count;
+      }
+    }
+    worst = std::max(worst, count);
+  }
+  return worst;
+}
+
+}  // namespace
+
+PlaceableGridSpec placeable_spec_for(const CgraArch& arch, int ii,
+                                     std::uint64_t seed) {
+  PlaceableGridSpec spec;
+  spec.seed = seed;
+  // ~3/5 of the fabric's linear extent: domains still span many tiles, but
+  // the patch has room to slide, so the instance measures placement rather
+  // than a perfect-packing puzzle.
+  spec.rows = std::clamp(arch.rows() * 3 / 5, 1, arch.rows());
+  spec.cols = std::clamp(arch.cols() * 3 / 5, 1, arch.cols());
+  if (spec.rows * spec.cols < 2) spec.cols = std::min(2, arch.cols());
+  // Raise the II until the densest same-label 2-hop cluster fits the
+  // interior distance-2 ball (on a plain mesh ii = 2 already does: demand 9
+  // against capacity 13). The num_pes bound is an overflow guard for
+  // degenerate fabrics whose balls can never cover the ii-independent
+  // demand floor.
+  spec.ii = std::max(ii, 2);
+  while (spec.ii < arch.num_pes() &&
+         wave_same_label_demand(spec.ii) > arch.distance2_ball_max()) {
+    ++spec.ii;
+  }
+  return spec;
 }
 
 }  // namespace monomap

@@ -3,7 +3,9 @@
 #define MONOMAP_WORKLOADS_SYNTHETIC_HPP
 
 #include <cstdint>
+#include <vector>
 
+#include "arch/cgra.hpp"
 #include "ir/dfg.hpp"
 
 namespace monomap {
@@ -28,6 +30,44 @@ Dfg random_dfg(const SyntheticSpec& spec);
 /// A layered DAG ("pipeline" shape): `layers` layers of `width` nodes, each
 /// node feeding 1-2 nodes of the next layer, plus one recurrence.
 Dfg layered_dfg(int layers, int width, std::uint64_t seed);
+
+/// Parameters for placeable_grid_dfg.
+struct PlaceableGridSpec {
+  int rows = 8;
+  int cols = 8;
+  /// Initiation interval the wave labels are computed against.
+  int ii = 2;
+  /// Probability of keeping each optional vertical mesh edge beyond the
+  /// connected spanning skeleton (1.0 = the full mesh patch).
+  double edge_keep = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// A satisfiable-by-construction *placement* instance: a rows x cols mesh
+/// patch of DFG nodes whose edges all connect grid-adjacent positions, with
+/// diagonal-wave slot labels label(r, c) = (r + c) % ii written to
+/// `labels_out` (required, sized to the node count). Placing node (r, c) on
+/// PE (r, c) of any CGRA at least rows x cols is always a monomorphism —
+/// the map is injective (mono1 holds for any labels) and every edge lands
+/// on a grid link (mono3) — so the space search must *find* a placement
+/// rather than refute one, which is what makes these the large-grid
+/// placement-throughput benchmark cases (the layered instances measure
+/// refutation throughput instead). The search, of course, does not know
+/// the witness: it still has to discover some embedding of an
+/// irregularly-thinned patch (edge_keep) into the full fabric.
+/// The one loop-carried recurrence also joins grid-adjacent nodes, keeping
+/// the witness valid.
+Dfg placeable_grid_dfg(const PlaceableGridSpec& spec,
+                       std::vector<int>* labels_out);
+
+/// A spec sized against `arch`: a patch of ~3/5 the fabric's linear extent
+/// (large enough that domains span many cache-line tiles, small enough to
+/// leave placement slack), with the II raised until the wave labelling's
+/// densest same-label 2-hop cluster fits the architecture's interior
+/// distance-2 ball (CgraArch::distance2_ball_max) — the capacity argument
+/// that keeps the instance from drowning in implied distance-2 conflicts.
+PlaceableGridSpec placeable_spec_for(const CgraArch& arch, int ii,
+                                     std::uint64_t seed);
 
 }  // namespace monomap
 

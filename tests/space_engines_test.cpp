@@ -353,12 +353,160 @@ TEST(SpaceEngines, SimdLevelsAreTraceIdentical) {
             << name << " level " << lv;
         EXPECT_EQ(r.multiplicity_prunings, scalar.multiplicity_prunings)
             << name << " level " << lv;
+        // The layout telemetry is level-independent too: which tiles are
+        // skippable depends on occupancy, not on kernel width.
+        EXPECT_EQ(r.tiles_skipped, scalar.tiles_skipped)
+            << name << " level " << lv;
+        EXPECT_EQ(r.domain_bytes_touched, scalar.domain_bytes_touched)
+            << name << " level " << lv;
         EXPECT_EQ(r.pe, scalar.pe) << name << " level " << lv;
       }
       simd::set_level(saved);
     }
   }
   simd::set_level(saved);
+}
+
+TEST(SpaceEngines, TiledAndUntiledLayoutsAreTraceIdentical) {
+  // Tile skipping changes which cache lines get touched, never the search:
+  // with the occupancy maps disabled, every decision counter and the found
+  // placement must be identical. Only the layout telemetry may differ —
+  // trail_words_saved is tile- vs word-granular by design, and the tiled
+  // layout can only touch fewer (never more) domain bytes.
+  const auto compare = [](const Dfg& dfg, const CgraArch& arch,
+                          const std::vector<int>& labels, int ii,
+                          bool expect_skips, const char* tag) {
+    const bool was_on = simd::set_tile_skipping(false);
+    const SpaceResult untiled = find_monomorphism(
+        dfg, arch, labels, ii, engine_options(SpaceEngine::kBitset));
+    simd::set_tile_skipping(true);
+    const SpaceResult tiled = find_monomorphism(
+        dfg, arch, labels, ii, engine_options(SpaceEngine::kBitset));
+    simd::set_tile_skipping(was_on);
+    EXPECT_EQ(tiled.found, untiled.found) << tag;
+    EXPECT_EQ(tiled.nodes_expanded, untiled.nodes_expanded) << tag;
+    EXPECT_EQ(tiled.backtracks, untiled.backtracks) << tag;
+    EXPECT_EQ(tiled.backjumps, untiled.backjumps) << tag;
+    EXPECT_EQ(tiled.max_depth, untiled.max_depth) << tag;
+    EXPECT_EQ(tiled.multiplicity_prunings, untiled.multiplicity_prunings)
+        << tag;
+    EXPECT_EQ(tiled.pe, untiled.pe) << tag;
+    EXPECT_EQ(untiled.tiles_skipped, 0u) << tag;
+    if (expect_skips) EXPECT_GT(tiled.tiles_skipped, 0u) << tag;
+    EXPECT_LE(tiled.domain_bytes_touched, untiled.domain_bytes_touched)
+        << tag;
+  };
+  {
+    const Benchmark& b = benchmark_by_name("fft");
+    const CgraArch arch = CgraArch::square(32);
+    TimeSolver solver(b.dfg, arch);
+    const auto sol = solver.next(Deadline(30.0));
+    ASSERT_TRUE(sol.has_value());
+    std::vector<int> labels;
+    for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+      labels.push_back(sol->label(v));
+    }
+    compare(b.dfg, arch, labels, sol->ii, false, "fft@32x32");
+  }
+  {
+    // The bench's acceptance regime: a full-mesh 32x32 patch placed on the
+    // 64x64 fabric, where domains span 8 tiles and skipping must fire.
+    PlaceableGridSpec ps;
+    ps.rows = 32;
+    ps.cols = 32;
+    ps.ii = 5;
+    ps.edge_keep = 1.0;
+    ps.seed = 154;
+    std::vector<int> labels;
+    const Dfg dfg = placeable_grid_dfg(ps, &labels);
+    compare(dfg, CgraArch::square(64), labels, ps.ii, true,
+            "placeable-32x32-ii5@64x64");
+  }
+}
+
+TEST(SpaceEngines, SparseMrvAgreesWithDynamicMrvOnSuite) {
+  // kSparseMrv only reweights complete variable/value orderings, so on
+  // complete searches it must agree with kDynamicMrv on feasibility for
+  // every suite benchmark's first 8x8 schedule (sparse_order_auto pinned
+  // off on the dynamic side so the engine cannot silently swap orders).
+  const CgraArch arch = CgraArch::square(8);
+  int found_count = 0;
+  for (const Benchmark& b : benchmark_suite()) {
+    TimeSolver solver(b.dfg, arch);
+    const auto sol = solver.next(Deadline(30.0));
+    ASSERT_TRUE(sol.has_value()) << b.name;
+    std::vector<int> labels;
+    for (NodeId v = 0; v < b.dfg.num_nodes(); ++v) {
+      labels.push_back(sol->label(v));
+    }
+    SpaceOptions dyn_opt = engine_options(SpaceEngine::kBitset);
+    dyn_opt.order = SpaceOrder::kDynamicMrv;
+    dyn_opt.sparse_order_auto = false;
+    SpaceOptions sparse_opt = engine_options(SpaceEngine::kBitset);
+    sparse_opt.order = SpaceOrder::kSparseMrv;
+    const SpaceResult dyn_r =
+        find_monomorphism(b.dfg, arch, labels, sol->ii, dyn_opt);
+    const SpaceResult sparse_r =
+        find_monomorphism(b.dfg, arch, labels, sol->ii, sparse_opt);
+    EXPECT_EQ(sparse_r.found, dyn_r.found) << b.name;
+    if (sparse_r.found) {
+      ++found_count;
+      expect_valid_placement(b.dfg, arch, labels, sparse_r);
+    }
+  }
+  EXPECT_GT(found_count, 0);
+}
+
+TEST(SpaceEngines, PlaceableGridInstancesAreFeasible) {
+  // Satisfiable-by-construction instances must actually be *found* at every
+  // fabric scale the bench exercises — the identity placement is a witness
+  // the generator guarantees, but the search has to discover its own.
+  for (const int grid : {16, 32, 64}) {
+    const CgraArch arch = CgraArch::square(grid);
+    const PlaceableGridSpec spec = placeable_spec_for(arch, 2, 42);
+    std::vector<int> labels;
+    const Dfg dfg = placeable_grid_dfg(spec, &labels);
+    const SpaceResult r = find_monomorphism(
+        dfg, arch, labels, spec.ii, engine_options(SpaceEngine::kBitset));
+    ASSERT_TRUE(r.found) << "grid " << grid;
+    expect_valid_placement(dfg, arch, labels, r);
+  }
+  // The bench's 64x64 acceptance suite: full-mesh 32x32 patches at the IIs
+  // and seeds BENCH_space.json records.
+  const CgraArch arch64 = CgraArch::square(64);
+  struct PatchCase {
+    int ii;
+    std::uint64_t seed;
+  };
+  for (const PatchCase pc :
+       {PatchCase{4, 77}, PatchCase{5, 154}, PatchCase{6, 154}}) {
+    PlaceableGridSpec ps;
+    ps.rows = 32;
+    ps.cols = 32;
+    ps.ii = pc.ii;
+    ps.edge_keep = 1.0;
+    ps.seed = pc.seed;
+    std::vector<int> labels;
+    const Dfg dfg = placeable_grid_dfg(ps, &labels);
+    const SpaceResult r = find_monomorphism(
+        dfg, arch64, labels, ps.ii, engine_options(SpaceEngine::kBitset));
+    ASSERT_TRUE(r.found) << "ii " << pc.ii << " seed " << pc.seed;
+    expect_valid_placement(dfg, arch64, labels, r);
+  }
+  // Cross-check the generator against the reference engine on a patch
+  // small enough for the scan-based search.
+  PlaceableGridSpec small;
+  small.rows = 12;
+  small.cols = 12;
+  small.ii = 2;
+  small.seed = 7;
+  std::vector<int> labels;
+  const Dfg dfg = placeable_grid_dfg(small, &labels);
+  const CgraArch arch16 = CgraArch::square(16);
+  const SpaceResult ref = find_monomorphism(
+      dfg, arch16, labels, small.ii, engine_options(SpaceEngine::kReference));
+  ASSERT_TRUE(ref.found);
+  expect_valid_placement(dfg, arch16, labels, ref);
 }
 
 TEST(SpaceEngines, AdaptiveBudgetCountersAreConsistent) {

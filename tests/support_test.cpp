@@ -1,9 +1,11 @@
 // Tests for the support utilities: assertions, RNG, stopwatch/deadline,
 // tables and CSV.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -240,6 +242,77 @@ TEST(PeSet, FindFromAcrossWordBoundaries) {
   EXPECT_EQ(s.find_next(4095), -1);
 }
 
+TEST(PeSet, TileOccupancyTracksBulkWordOps) {
+  // The occupancy-bitmap contract the tiled searcher's trail relies on:
+  // a clear bit t implies tile t is all-zero (over-approximation), bulk
+  // word ops never tighten the map on their own, mark_tile_empty is the
+  // caller-proven tightening, and restore_words re-occupies wholesale —
+  // which is why backtracking needs no occupancy trail.
+  PeSet s(4096);  // the 64x64-fabric size: 64 words = 8 tiles
+  ASSERT_TRUE(s.tracks_tiles());
+  ASSERT_EQ(s.num_tiles(), 8);
+  EXPECT_EQ(s.tile_occupancy(), PeSet::Word{0});
+
+  constexpr int kTileBits = PeSet::kTileWords * PeSet::kWordBits;
+  s.set(3);                  // tile 0
+  s.set(5 * kTileBits + 17);  // tile 5
+  EXPECT_EQ(s.tile_occupancy(),
+            (PeSet::Word{1} << 0) | (PeSet::Word{1} << 5));
+
+  // reset() leaves occupancy alone: the stale-high map is still a valid
+  // over-approximation and exact results never depend on it.
+  s.reset(5 * kTileBits + 17);
+  EXPECT_EQ(s.tile_occupancy(),
+            (PeSet::Word{1} << 0) | (PeSet::Word{1} << 5));
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.find_from(4), -1);
+
+  // Tile-granular wipe + snapshot restore, exactly as the tile trail
+  // does it.
+  s.set(7);  // a second bit in tile 0
+  std::array<PeSet::Word, PeSet::kTileWords> snap;
+  std::copy_n(s.words().data(), PeSet::kTileWords, snap.begin());
+  s.zero_words(0, PeSet::kTileWords);
+  // Occupancy still claims tile 0, but results stay exact...
+  EXPECT_EQ((s.tile_occupancy() >> 0) & 1, PeSet::Word{1});
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.find_first(), -1);
+  // ...until the caller-proven tightening drops the line from bulk scans
+  // (tile 5's stale-high bit survives — tightening is per-tile).
+  s.mark_tile_empty(0);
+  EXPECT_EQ(s.tile_occupancy(), PeSet::Word{1} << 5);
+  EXPECT_EQ(s.count(), 0);
+  // Undo: restore_words re-marks the tile occupied.
+  s.restore_words(0, PeSet::kTileWords, snap.data());
+  EXPECT_EQ((s.tile_occupancy() >> 0) & 1, PeSet::Word{1});
+  EXPECT_TRUE(s.test(3));
+  EXPECT_TRUE(s.test(7));
+  EXPECT_EQ(s.count(), 2);
+
+  // Bulk intersect against a sparser set: bits only vanish, so the old
+  // occupancy map deliberately stays put.
+  PeSet m(4096);
+  m.set(3);
+  const PeSet::Word before = s.tile_occupancy();
+  s.and_words(m, 0, PeSet::kTileWords);
+  EXPECT_EQ(s.tile_occupancy(), before);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.test(3));
+  EXPECT_FALSE(s.test(7));
+
+  // fill() occupies every tile; operator&= intersects the maps.
+  PeSet f = PeSet::full(4096);
+  EXPECT_EQ(f.tile_occupancy(), PeSet::Word{0xFF});
+  f &= s;
+  EXPECT_EQ(f.tile_occupancy(), s.tile_occupancy());
+  EXPECT_EQ(f.count(), 1);
+
+  // Invariant check: the exact mask is a subset of the tracked one.
+  const PeSet::Word exact =
+      simd::occupancy_mask(s.words().data(), s.words().size());
+  EXPECT_EQ(exact & ~s.tile_occupancy(), PeSet::Word{0});
+}
+
 TEST(Simd, SetLevelClampsToSupport) {
   const simd::Level saved = simd::active_level();
   const simd::Level best = simd::best_supported_level();
@@ -315,6 +388,51 @@ TEST(PeSet, FusedKernelsMatchNaiveCompositionAtEveryLevel) {
         PeSet diff = a;
         diff.and_not(b);
         EXPECT_EQ(diff.count(), a.count() - expect_inter) << "level " << lv;
+      }
+    }
+  }
+  simd::set_level(saved);
+}
+
+TEST(Simd, OccupancyMaskMatchesNaiveAtEveryLevel) {
+  // occupancy_mask is what (re)derives a PeSet's tile bitmap; like every
+  // other kernel it must agree bit-for-bit across SIMD levels, including
+  // partial final tiles. Also pins that the pinned hot_kernels() pointers
+  // resolve to the same level's kernels as the free functions.
+  const simd::Level saved = simd::active_level();
+  const int best = static_cast<int>(simd::best_supported_level());
+  Rng rng(777);
+  for (const int n : {1, 7, 8, 9, 16, 63, 64, 512}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<simd::Word> a(static_cast<std::size_t>(n), 0);
+      for (simd::Word& w : a) {
+        if (rng.next_below(4) == 0) w = rng.next_u64();
+      }
+      simd::Word expect = 0;
+      for (int i = 0; i < n; ++i) {
+        if (a[static_cast<std::size_t>(i)] != 0) {
+          expect |= simd::Word{1} << (i / simd::kTileWords);
+        }
+      }
+      for (int lv = 0; lv <= best; ++lv) {
+        simd::set_level(static_cast<simd::Level>(lv));
+        EXPECT_EQ(simd::occupancy_mask(a.data(), a.size()), expect)
+            << "level " << lv << " n " << n;
+        const simd::HotKernels hot = simd::hot_kernels();
+        EXPECT_EQ(hot.count(a.data(), a.size()),
+                  simd::count(a.data(), a.size()))
+            << "level " << lv << " n " << n;
+        EXPECT_EQ(hot.all_zero(a.data(), a.size()),
+                  simd::all_zero(a.data(), a.size()))
+            << "level " << lv << " n " << n;
+        if (n <= 64) {
+          const simd::AndPreview hp =
+              hot.and_preview(a.data(), a.data(), a.size());
+          const simd::AndPreview fp =
+              simd::and_preview(a.data(), a.data(), a.size());
+          EXPECT_EQ(hp.dirty, fp.dirty);
+          EXPECT_EQ(hp.any, fp.any);
+        }
       }
     }
   }

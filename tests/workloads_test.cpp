@@ -2,6 +2,8 @@
 // bounds, and mII = max(ResII, RecII) for all 68 (benchmark, grid) cells.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "graph/algorithms.hpp"
 #include "ir/interpreter.hpp"
 #include "sched/mii.hpp"
@@ -102,6 +104,57 @@ TEST(Synthetic, LayeredDfgShape) {
   const Dfg dfg = layered_dfg(5, 4, 7);
   EXPECT_EQ(dfg.num_nodes(), 20);
   EXPECT_GE(recurrence_mii_of(dfg), 1);
+}
+
+TEST(Synthetic, PlaceableGridShapeAndIdentityWitness) {
+  // The generator's contract: diagonal-wave labels, and every edge joins
+  // grid-adjacent cells, so placing node (r, c) on PE (r, c) is a
+  // monomorphism witness for ANY ii — that identity check here is what
+  // entitles the space tests to assert found == true.
+  for (const int ii : {2, 4, 6}) {
+    PlaceableGridSpec spec;
+    spec.rows = 7;
+    spec.cols = 9;
+    spec.ii = ii;
+    spec.edge_keep = 0.6;
+    spec.seed = 11;
+    std::vector<int> labels;
+    const Dfg dfg = placeable_grid_dfg(spec, &labels);
+    ASSERT_EQ(dfg.num_nodes(), 63);
+    ASSERT_EQ(labels.size(), 63u);
+    EXPECT_TRUE(dfg.is_connected()) << "ii " << ii;
+    for (int r = 0; r < spec.rows; ++r) {
+      for (int c = 0; c < spec.cols; ++c) {
+        EXPECT_EQ(labels[static_cast<std::size_t>(r * spec.cols + c)],
+                  (r + c) % ii);
+      }
+    }
+    const Graph& g = dfg.graph();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      const int dr = edge.src / spec.cols - edge.dst / spec.cols;
+      const int dc = edge.src % spec.cols - edge.dst % spec.cols;
+      EXPECT_EQ(std::abs(dr) + std::abs(dc), 1)
+          << "edge " << edge.src << "->" << edge.dst << " not grid-adjacent";
+    }
+  }
+}
+
+TEST(Synthetic, PlaceableSpecScalesWithFabricAndBallCapacity) {
+  // spec_for sizes the patch to ~3/5 the linear extent and never returns
+  // an II whose densest same-label 2-hop cluster overflows the interior
+  // distance-2 ball (on a plain mesh the requested II already fits).
+  for (const int grid : {16, 32, 64}) {
+    const CgraArch arch = CgraArch::square(grid);
+    const PlaceableGridSpec spec =
+        placeable_spec_for(arch, 2, static_cast<std::uint64_t>(grid));
+    EXPECT_EQ(spec.rows, grid * 3 / 5);
+    EXPECT_EQ(spec.cols, grid * 3 / 5);
+    EXPECT_EQ(spec.ii, 2) << grid;
+    EXPECT_LE(spec.rows, arch.rows());
+  }
+  // Higher requested IIs pass through unchanged on the mesh.
+  EXPECT_EQ(placeable_spec_for(CgraArch::square(16), 5, 1).ii, 5);
 }
 
 }  // namespace

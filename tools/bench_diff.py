@@ -85,7 +85,8 @@ def check_metric(fresh, base, metric, max_ratio):
 
 def note_outcome_counters(fresh, base):
     """Robustness telemetry riding on bench rows: outcome/degraded/
-    fault_retries (time records) and memory_out (space records). Tolerated
+    fault_retries (time records), memory_out and the tiled-layout locality
+    counters tiles_skipped/domain_bytes_touched (space records). Tolerated
     when the baseline predates them (first recording), but noted; a fresh
     row that did not end clean/feasible is also noted loudly, since its
     timing reflects a cut-short run, not the search being measured."""
@@ -94,7 +95,11 @@ def note_outcome_counters(fresh, base):
     for label in sorted(fresh):
         row = fresh[label]
         base_row = base.get(label)
-        for field in ("outcome", "degraded", "fault_retries", "memory_out"):
+        # tiles_skipped / domain_bytes_touched are locality telemetry from
+        # the tiled domain layout: note-only, never gated — their magnitude
+        # tracks layout policy (and MONOMAP_TILES), not search behaviour.
+        for field in ("outcome", "degraded", "fault_retries", "memory_out",
+                      "tiles_skipped", "domain_bytes_touched"):
             if field in row and (base_row is None or field not in base_row):
                 if field not in new_fields:
                     new_fields.append(field)

@@ -52,6 +52,7 @@ struct CliOptions {
   bool distance2 = true;
   bool backjump = true;
   bool anytime = false;         // degrade to the best feasible mapping
+  std::string space_order = "auto";  // auto|dynamic-mrv|sparse-mrv|static
   int max_schedules = 0;        // deterministic work budget (0 = off)
   std::uint64_t mem_budget_mb = 0;  // governor budget (0 = unlimited)
   std::string faults;           // fault-injection spec (empty = off)
@@ -70,6 +71,7 @@ struct CliOptions {
       "      [--lookahead N] [--share-nogoods]\n"
       "      [--space-budget N] [--shrink-divisor N] [--no-adaptive-budget]\n"
       "      [--no-distance2] [--no-backjump] [--restricted] [--out FILE]\n"
+      "      [--space-order dynamic-mrv|sparse-mrv|static]\n"
       "      [--anytime] [--max-schedules N] [--mem-budget-mb N]\n"
       "      [--faults SPEC]   (SPEC: site=kind@period[,...][:seed],\n"
       "                         see docs/robustness.md)\n"
@@ -173,6 +175,15 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       opt.backjump = false;
     } else if (arg == "--anytime") {
       opt.anytime = true;
+    } else if (arg == "--space-order") {
+      const std::string o = value();
+      if (o == "dynamic-mrv" || o == "sparse-mrv" || o == "static") {
+        opt.space_order = o;
+      } else {
+        std::cerr << "--space-order: expected dynamic-mrv, sparse-mrv or "
+                     "static, got '" << o << "'\n";
+        usage();
+      }
     } else if (arg == "--max-schedules") {
       opt.max_schedules = parse_pos_int(value(), "--max-schedules", 0);
     } else if (arg == "--mem-budget-mb") {
@@ -250,6 +261,17 @@ int cmd_map(const std::string& spec, const CliOptions& opt) {
     mopt.adaptive_space_budget = opt.adaptive_budget;
     mopt.space.distance2_filter = opt.distance2;
     mopt.space.backjumping = opt.backjump;
+    // "auto" leaves the engine defaults (dynamic MRV with the size-based
+    // sparse upgrade); an explicit dynamic-mrv pins the classic ordering by
+    // clearing the auto-upgrade, so A/B runs compare exactly what they name.
+    if (opt.space_order == "dynamic-mrv") {
+      mopt.space.order = SpaceOrder::kDynamicMrv;
+      mopt.space.sparse_order_auto = false;
+    } else if (opt.space_order == "sparse-mrv") {
+      mopt.space.order = SpaceOrder::kSparseMrv;
+    } else if (opt.space_order == "static") {
+      mopt.space.order = SpaceOrder::kConnectivity;
+    }
     mopt.anytime = opt.anytime;
     mopt.max_schedules = opt.max_schedules;
     mopt.memory_budget_mb = opt.mem_budget_mb;
